@@ -1,0 +1,62 @@
+//! Congestion-control micro-benchmarks: cost of a single on_ack for each
+//! algorithm (the hottest code path in the whole simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mptcpsim::cc::{CcAlgo, Coupling};
+use simbase::{SimDuration, SimTime};
+use tcpsim::cc::{AckContext, CongestionControl, Cubic, Reno, Vegas};
+
+fn ctx() -> AckContext {
+    AckContext {
+        now: SimTime::from_millis(100),
+        bytes_acked: 1460,
+        srtt: Some(SimDuration::from_millis(10)),
+        latest_rtt: Some(SimDuration::from_millis(11)),
+        min_rtt: Some(SimDuration::from_millis(9)),
+        flight_size: 100_000,
+        mss: 1460,
+    }
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc_on_ack");
+    let a = ctx();
+
+    group.bench_function("reno", |b| {
+        let mut cc = Reno::new(14600, 1460);
+        b.iter(|| {
+            cc.on_ack(&a);
+            std::hint::black_box(cc.cwnd())
+        })
+    });
+    group.bench_function("cubic", |b| {
+        let mut cc = Cubic::new(14600, 1460);
+        b.iter(|| {
+            cc.on_ack(&a);
+            std::hint::black_box(cc.cwnd())
+        })
+    });
+    group.bench_function("vegas", |b| {
+        let mut cc = Vegas::new(14600, 1460);
+        b.iter(|| {
+            cc.on_ack(&a);
+            std::hint::black_box(cc.cwnd())
+        })
+    });
+    for algo in [CcAlgo::Lia, CcAlgo::Olia, CcAlgo::Balia] {
+        group.bench_function(algo.name(), |b| {
+            let coupling = Coupling::new();
+            let mut ccs: Vec<_> = (0..3).map(|_| coupling.make_cc(algo, 14600, 1460)).collect();
+            b.iter(|| {
+                for cc in &mut ccs {
+                    cc.on_ack(&a);
+                }
+                std::hint::black_box(ccs[0].cwnd())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Simplex performance: the paper LP, random capacity LPs, and the exact
+//! rational solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpsolve::{solve, LinearProgram, LpNum, LpOutcome, Rational, Sense};
+use overlap_core::{PaperNetwork, RandomOverlapConfig, RandomOverlapNet};
+
+fn paper_lp() -> LinearProgram {
+    let net = PaperNetwork::new();
+    let (lp, _) = lpsolve::max_throughput_lp(&net.topology, &net.paths);
+    lp
+}
+
+fn random_lp(vars: usize) -> LinearProgram {
+    let mut lp = LinearProgram::new();
+    for i in 0..vars {
+        lp.add_var(format!("x{i}"), 1.0);
+    }
+    for i in 0..vars {
+        for j in i + 1..vars {
+            lp.add_constraint(
+                format!("c{i}{j}"),
+                &[(i, 1.0), (j, 1.0)],
+                Sense::Le,
+                ((i * 7 + j * 13) % 80 + 20) as f64,
+            );
+        }
+    }
+    lp
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp");
+    let paper = paper_lp();
+    group.bench_function("paper_f64", |b| {
+        b.iter(|| match solve::<f64>(&paper) {
+            LpOutcome::Optimal { objective, .. } => std::hint::black_box(objective),
+            _ => unreachable!(),
+        })
+    });
+    group.bench_function("paper_rational", |b| {
+        b.iter(|| match solve::<Rational>(&paper) {
+            LpOutcome::Optimal { objective, .. } => std::hint::black_box(objective.to_f64()),
+            _ => unreachable!(),
+        })
+    });
+    let big = random_lp(12);
+    group.bench_function("pairwise_12vars_f64", |b| {
+        b.iter(|| match solve::<f64>(&big) {
+            LpOutcome::Optimal { objective, .. } => std::hint::black_box(objective),
+            _ => unreachable!(),
+        })
+    });
+    group.bench_function("extract_from_topology", |b| {
+        let net = RandomOverlapNet::generate(&RandomOverlapConfig { paths: 5, ..Default::default() });
+        b.iter(|| std::hint::black_box(net.lp_optimum().total_mbps))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Simulator performance: events per second on the paper workload and on a
+//! plain TCP flow. These are engineering benchmarks (how fast is the DES),
+//! not paper experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overlap_core::prelude::*;
+use overlap_core::PaperNetwork;
+
+fn bench_paper_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("paper_cubic_500ms", |b| {
+        b.iter(|| {
+            let net = PaperNetwork::new();
+            let r = Scenario {
+                default_path: net.default_path,
+                ..Scenario::new(net.topology, net.paths)
+            }
+            .with_timing(SimDuration::from_millis(500), SimDuration::from_millis(100))
+            .run();
+            std::hint::black_box(r.events)
+        })
+    });
+    group.bench_function("paper_olia_500ms", |b| {
+        b.iter(|| {
+            let net = PaperNetwork::new();
+            let r = Scenario {
+                default_path: net.default_path,
+                ..Scenario::new(net.topology, net.paths)
+            }
+            .with_algo(CcAlgo::Olia)
+            .with_timing(SimDuration::from_millis(500), SimDuration::from_millis(100))
+            .run();
+            std::hint::black_box(r.events)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_run);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! E2 / Figure 2a — per-flow throughput with CUBIC, 100 ms bins, 0–4 s.
+//!
+//! Run: `cargo run -p bench --bin fig2a [--csv]`
+
+use overlap_core::prelude::*;
+use overlap_core::FIG2_SEED;
+
+fn main() {
+    let result = fig2a(FIG2_SEED);
+    if std::env::args().any(|a| a == "--csv") {
+        let series: Vec<&TimeSeries> =
+            result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+        print!("{}", to_csv(&series));
+        return;
+    }
+    print!("{}", render_run("Figure 2a — MPTCP with CUBIC (100 ms sampling)", &result));
+}

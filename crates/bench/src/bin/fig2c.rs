@@ -1,0 +1,20 @@
+//! E4 / Figure 2c — the 10 ms-sampled detail of the first 0.5 s (CUBIC).
+//!
+//! Shows the slow-start ramp of the default path and the first sawtooth
+//! events at fine time resolution.
+//!
+//! Run: `cargo run -p bench --bin fig2c [--csv]`
+
+use overlap_core::prelude::*;
+use overlap_core::FIG2_SEED;
+
+fn main() {
+    let result = fig2c(FIG2_SEED);
+    if std::env::args().any(|a| a == "--csv") {
+        let series: Vec<&TimeSeries> =
+            result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+        print!("{}", to_csv(&series));
+        return;
+    }
+    print!("{}", render_run("Figure 2c — CUBIC detail (10 ms sampling, 0.5 s)", &result));
+}

@@ -1,0 +1,1 @@
+//! Bench crate helper library (bins and benches live alongside).

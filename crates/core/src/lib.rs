@@ -1,0 +1,56 @@
+//! # overlap-core — the paper's scenarios and experiment harness
+//!
+//! This crate is the reproduction's front door. It ties the substrates
+//! together into the experiments of *"The Performance of Multi-Path TCP
+//! with Overlapping Paths"*:
+//!
+//! * [`paper`] — the Figure-1 six-node network with three pairwise-
+//!   overlapping paths (both constraint variants; see DESIGN.md §2).
+//! * [`scenario`] — one configured run: tag routing, MPTCP endpoints,
+//!   deterministic simulation, tshark-style sampling, LP ground truth.
+//! * [`experiments`] — the catalog: Figure 2a/2b/2c and the Results-section
+//!   table, plus sweeps used by the benchmark binaries.
+//! * [`randomnet`] — generalized overlapping topologies (every pair of
+//!   paths shares one bottleneck) for beyond-the-paper experiments.
+//! * [`report`] — terminal rendering (ASCII charts, summary tables).
+//!
+//! ```no_run
+//! use overlap_core::prelude::*;
+//!
+//! let net = PaperNetwork::new();
+//! let result = Scenario {
+//!     default_path: net.default_path,
+//!     ..Scenario::new(net.topology, net.paths)
+//! }
+//! .with_algo(CcAlgo::Cubic)
+//! .run();
+//! println!("total: {:.1} / {:.1} Mbps", result.steady_total_mbps(), result.lp.total_mbps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod randomnet;
+pub mod report;
+pub mod scenario;
+
+pub use experiments::{fig2a, fig2b, fig2b_long, fig2c, results_table, ResultsRow, FIG2_SEED};
+pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
+pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};
+pub use scenario::{CrossTraffic, RunResult, Scenario};
+
+/// The most frequently used types, re-exported for glob import.
+pub mod prelude {
+    pub use crate::experiments::{fig2a, fig2b, fig2b_long, fig2c, results_table, ResultsRow};
+    pub use crate::paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
+    pub use crate::randomnet::{RandomOverlapConfig, RandomOverlapNet};
+    pub use crate::report::{render_run, render_table};
+    pub use crate::scenario::{CrossTraffic, RunResult, Scenario};
+    pub use mptcpsim::{CcAlgo, SchedulerKind};
+    pub use netsim::{Path, QueueConfig, Topology};
+    pub use simbase::{Bandwidth, SimDuration, SimTime};
+    pub use simtrace::{ascii_chart, to_csv, ChartOptions, TimeSeries};
+    pub use tcpsim::AppSource;
+}

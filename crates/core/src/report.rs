@@ -1,0 +1,128 @@
+//! Terminal rendering of experiment results.
+
+use crate::experiments::ResultsRow;
+use crate::scenario::RunResult;
+use simtrace::{ascii_chart, ChartOptions};
+use std::fmt::Write as _;
+
+/// Render one run as the paper renders Figure 2: per-path lines plus the
+/// total, with a summary block (LP optimum, measured, convergence).
+pub fn render_run(title: &str, result: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let series: Vec<&simtrace::TimeSeries> =
+        result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+    let opts = ChartOptions {
+        y_max: Some((result.lp.total_mbps * 1.15).max(result.total.max())),
+        ..Default::default()
+    };
+    out.push_str(&ascii_chart(&series, &opts));
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "LP optimum: {:.1} Mbps  (per path: {})",
+        result.lp.total_mbps,
+        result
+            .lp
+            .per_path_mbps
+            .iter()
+            .map(|v| format!("{v:.0}"))
+            .collect::<Vec<_>>()
+            .join(" / ")
+    );
+    let _ = writeln!(
+        out,
+        "Measured steady state: {:.1} Mbps  (per path: {})  efficiency {:.0}%",
+        result.steady_total_mbps(),
+        result
+            .per_path_steady_mbps
+            .iter()
+            .map(|v| format!("{v:.1}"))
+            .collect::<Vec<_>>()
+            .join(" / "),
+        result.efficiency() * 100.0
+    );
+    match result.convergence.converged_at {
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "Converged to within {:.0}% of optimum at t = {:.2} s (post-convergence CoV {:.3})",
+                result.convergence.tolerance * 100.0,
+                t.as_secs_f64(),
+                result.convergence.steady_cov
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "Did NOT reach the optimum band within the measurement window \
+                 (steady mean {:.1} Mbps = {:.0}% of optimum)",
+                result.convergence.steady_mean,
+                result.convergence.efficiency * 100.0
+            );
+        }
+    }
+    let _ = writeln!(out, "Drops: {}   duplicate DSN bytes: {}", result.drops, result.duplicate_bytes);
+    out
+}
+
+/// Render the E5 results table.
+pub fn render_table(rows: &[ResultsRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>11} {:>12} {:>11} {:>12} {:>9}",
+        "algo", "default path", "converged", "total Mbps", "efficiency", "conv time s", "CoV"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>10.0}% {:>12.1} {:>10.0}% {:>12} {:>9.3}",
+            r.algo.name(),
+            format!("Path {}", r.default_path + 1),
+            r.converged_fraction * 100.0,
+            r.mean_total_mbps,
+            r.mean_efficiency * 100.0,
+            r.mean_convergence_s
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "—".to_string()),
+            r.mean_cov,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mptcpsim::CcAlgo;
+
+    #[test]
+    fn render_table_formats_rows() {
+        let rows = vec![ResultsRow {
+            algo: CcAlgo::Cubic,
+            default_path: 1,
+            converged_fraction: 1.0,
+            mean_total_mbps: 88.4,
+            mean_efficiency: 0.982,
+            mean_convergence_s: Some(1.25),
+            mean_cov: 0.041,
+            seeds: 5,
+        }, ResultsRow {
+            algo: CcAlgo::Lia,
+            default_path: 0,
+            converged_fraction: 0.0,
+            mean_total_mbps: 71.0,
+            mean_efficiency: 0.79,
+            mean_convergence_s: None,
+            mean_cov: 0.02,
+            seeds: 5,
+        }];
+        let s = render_table(&rows);
+        assert!(s.contains("CUBIC"), "{s}");
+        assert!(s.contains("Path 2"));
+        assert!(s.contains("1.25"));
+        assert!(s.contains('—'), "unconverged rows render a dash");
+    }
+}

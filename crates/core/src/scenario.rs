@@ -1,0 +1,366 @@
+//! A runnable experiment scenario and its results.
+//!
+//! [`Scenario`] packages everything one measurement run needs — topology,
+//! paths, congestion control, scheduler, duration, sampling — and
+//! [`Scenario::run`] executes it: install tag routes (the paper's modified
+//! ndiffports), attach the MPTCP endpoints, run the deterministic
+//! simulation, sample the receiver-side capture per tag (the tshark step),
+//! and fold in the LP ground truth.
+
+use mptcpsim::{CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SchedulerKind, SubflowConfig};
+use netsim::{CaptureConfig, CbrSource, DatagramSink, NodeId, Path, RoutingTables, Simulator, Tag, Topology};
+use simbase::Bandwidth;
+use simbase::{SimDuration, SimTime};
+use simtrace::{ConvergenceReport, SamplerConfig, ThroughputSampler, TimeSeries};
+use tcpsim::AppSource;
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network.
+    pub topology: Topology,
+    /// The MPTCP paths, in reporting order (`paths[i]` is "Path i+1").
+    pub paths: Vec<Path>,
+    /// Index of the default path: its subflow is created first, so the
+    /// scheduler prefers it before RTT samples exist.
+    pub default_path: usize,
+    /// Congestion control configuration.
+    pub algo: CcAlgo,
+    /// Packet scheduler.
+    pub scheduler: SchedulerKind,
+    /// Measurement duration.
+    pub duration: SimDuration,
+    /// Throughput sampling bin (paper: 10 ms or 100 ms).
+    pub sample_bin: SimDuration,
+    /// RNG seed (a run is a pure function of the scenario + seed).
+    pub seed: u64,
+    /// Application model.
+    pub app: AppSource,
+    /// SACK on subflows (on = the kernel the paper used; off = ablation).
+    pub sack: bool,
+    /// ECN on subflows (only meaningful with ECN-marking queues).
+    pub ecn: bool,
+    /// Convergence tolerance: within this fraction of the LP optimum.
+    pub tolerance: f64,
+    /// How long the rate must hold inside the band to count as converged.
+    pub hold: SimDuration,
+    /// Per-hop forwarding jitter (testbed kernel noise); breaks loss-phase
+    /// synchronisation and gives each seed a distinct trajectory.
+    pub forward_jitter: SimDuration,
+    /// Open-loop CBR cross traffic injected alongside the MPTCP connection.
+    pub background: Vec<CrossTraffic>,
+}
+
+/// A constant-bit-rate background flow between two agent-free nodes.
+#[derive(Debug, Clone)]
+pub struct CrossTraffic {
+    /// Source node (must not host another agent).
+    pub from: NodeId,
+    /// Destination node (must not host another agent).
+    pub to: NodeId,
+    /// Offered rate.
+    pub rate: Bandwidth,
+    /// Datagram payload size, bytes.
+    pub packet_bytes: u32,
+}
+
+impl Scenario {
+    /// A scenario over the given network with paper-like defaults:
+    /// CUBIC, minRTT scheduler, unlimited source, 4 s at 100 ms bins.
+    pub fn new(topology: Topology, paths: Vec<Path>) -> Self {
+        Scenario {
+            topology,
+            paths,
+            default_path: 0,
+            algo: CcAlgo::Cubic,
+            scheduler: SchedulerKind::MinRtt,
+            duration: SimDuration::from_secs(4),
+            sample_bin: SimDuration::from_millis(100),
+            seed: 1,
+            app: AppSource::Unlimited,
+            sack: true,
+            ecn: false,
+            tolerance: 0.15,
+            hold: SimDuration::from_secs(1),
+            forward_jitter: SimDuration::from_micros(20),
+            background: Vec::new(),
+        }
+    }
+
+    /// Builder-style override of the congestion-control algorithm.
+    pub fn with_algo(mut self, algo: CcAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Builder-style override of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of duration and sampling bin.
+    pub fn with_timing(mut self, duration: SimDuration, bin: SimDuration) -> Self {
+        self.duration = duration;
+        self.sample_bin = bin;
+        self
+    }
+
+    /// Execute the scenario.
+    pub fn run(&self) -> RunResult {
+        assert!(!self.paths.is_empty(), "need at least one path");
+        assert!(self.default_path < self.paths.len(), "default_path out of range");
+        let src = self.paths[0].src();
+        let dst = mptcpsim::common_destination(&self.paths);
+
+        // Routing: tag i+1 pins path i, installed bidirectionally.
+        let mut routing = RoutingTables::new(&self.topology);
+        for (i, p) in self.paths.iter().enumerate() {
+            routing.install_path(p, Tag(1 + i as u16));
+        }
+        for bg in &self.background {
+            routing.install_default_routes_to(&self.topology, bg.to);
+        }
+
+        // Subflows in default-first order, keeping each path's canonical tag.
+        let mut order: Vec<usize> = (0..self.paths.len()).collect();
+        order.swap(0, self.default_path);
+        let subflows: Vec<SubflowConfig> = order
+            .iter()
+            .map(|&ci| SubflowConfig {
+                tag: Tag(1 + ci as u16),
+                src_port: 5000 + ci as u16,
+                dst_port: 6000 + ci as u16,
+            })
+            .collect();
+
+        let lp = lpsolve::solve_max_throughput(&self.topology, &self.paths);
+
+        let mut sim = Simulator::new(self.topology.clone(), routing, self.seed);
+        sim.set_capture(CaptureConfig::receiver_side(dst));
+        sim.set_forward_jitter(self.forward_jitter);
+        let mptcp_cfg = MptcpConfig {
+            algo: self.algo,
+            scheduler: self.scheduler,
+            app: self.app,
+            sack: self.sack,
+            ecn: self.ecn,
+            ..MptcpConfig::bulk(dst, subflows)
+        };
+        let sender_id = sim.add_agent(src, Box::new(MptcpSenderAgent::new(mptcp_cfg)), SimTime::ZERO);
+        for bg in &self.background {
+            assert!(bg.from != src && bg.from != dst, "cross traffic cannot share MPTCP hosts");
+            assert!(bg.to != src && bg.to != dst, "cross traffic cannot share MPTCP hosts");
+            sim.add_agent(
+                bg.from,
+                Box::new(CbrSource::new(bg.to, Tag::NONE, bg.rate, bg.packet_bytes)),
+                SimTime::ZERO,
+            );
+            sim.add_agent(bg.to, Box::new(DatagramSink::default()), SimTime::ZERO);
+        }
+        let receiver = MptcpReceiverAgent::default();
+        let receiver = if self.sack { receiver } else { receiver.without_sack() };
+        let receiver_id = sim.add_agent(dst, Box::new(receiver), SimTime::ZERO);
+
+        let end = SimTime::ZERO + self.duration;
+        sim.run_until(end);
+
+        // tshark step: bin receiver-side deliveries per tag.
+        let sampler = ThroughputSampler::from_records(
+            sim.captures(),
+            &SamplerConfig::tshark_like(dst, self.sample_bin, end),
+        );
+        let nbins = (self.duration.as_nanos()).div_ceil(self.sample_bin.as_nanos()).max(1) as usize;
+        let per_path: Vec<TimeSeries> = (0..self.paths.len())
+            .map(|i| match sampler.tag(Tag(1 + i as u16)) {
+                Some(s) => {
+                    let mut s = s.clone();
+                    s.label = format!("Path {}", i + 1);
+                    s
+                }
+                None => TimeSeries::new(
+                    format!("Path {}", i + 1),
+                    SimTime::ZERO,
+                    self.sample_bin,
+                    vec![0.0; nbins],
+                ),
+            })
+            .collect();
+        let total = TimeSeries::sum_of("Total", &per_path.iter().collect::<Vec<_>>());
+        // Sustained criterion: the (smoothed) total must stay inside the
+        // band from the convergence point to the end of the measurement —
+        // a slow-start overshoot that transits the band does not count.
+        let smooth_bins = (self.hold.as_nanos() / self.sample_bin.as_nanos()).max(1) as usize;
+        let min_tail = (2 * smooth_bins).max(4);
+        let convergence = ConvergenceReport::analyze_sustained(
+            &total,
+            lp.total_mbps,
+            self.tolerance,
+            smooth_bins,
+            min_tail,
+        );
+
+        // Steady-state per-path means over the post-convergence window (or
+        // the final quarter if never converged).
+        let steady_from = convergence
+            .converged_at
+            .unwrap_or(SimTime::ZERO + self.duration.mul_f64(0.75));
+        let per_path_steady_mbps: Vec<f64> =
+            per_path.iter().map(|s| s.mean_over(steady_from, end)).collect();
+
+        // Pull endpoint state out of the simulator for the record.
+        let sender = sim
+            .agent(sender_id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<MptcpSenderAgent>())
+            .expect("sender agent");
+        let subflow_stats: Vec<tcpsim::SenderStats> = (0..sender.subflow_count())
+            .map(|i| *sender.subflow_sender(i).stats())
+            .collect();
+        let receiver = sim
+            .agent(receiver_id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<MptcpReceiverAgent>())
+            .expect("receiver agent");
+
+        RunResult {
+            per_path,
+            total,
+            lp,
+            convergence,
+            per_path_steady_mbps,
+            drops: sim.stats().packets_dropped,
+            events: sim.stats().events,
+            data_delivered: receiver.data_delivered(),
+            duplicate_bytes: receiver.stats().duplicate_bytes,
+            subflow_stats,
+        }
+    }
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-path wire-throughput series (Mbps), in path order.
+    pub per_path: Vec<TimeSeries>,
+    /// Element-wise total (the paper's "Total" line).
+    pub total: TimeSeries,
+    /// The LP ground truth for the same topology and paths.
+    pub lp: lpsolve::MaxThroughput,
+    /// Convergence analysis of the total against the LP optimum.
+    pub convergence: ConvergenceReport,
+    /// Steady-state mean rate per path, Mbps.
+    pub per_path_steady_mbps: Vec<f64>,
+    /// Queue drops across the network.
+    pub drops: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Connection-level in-order bytes delivered.
+    pub data_delivered: u64,
+    /// Connection-level duplicate bytes received.
+    pub duplicate_bytes: u64,
+    /// Per-subflow TCP statistics, in subflow (default-first) order.
+    pub subflow_stats: Vec<tcpsim::SenderStats>,
+}
+
+impl RunResult {
+    /// Measured total steady-state throughput, Mbps.
+    pub fn steady_total_mbps(&self) -> f64 {
+        self.per_path_steady_mbps.iter().sum()
+    }
+
+    /// steady total / LP optimum.
+    pub fn efficiency(&self) -> f64 {
+        self.steady_total_mbps() / self.lp.total_mbps
+    }
+
+    /// The measured allocation must be feasible for the LP (sanity bound —
+    /// a violation means the simulator overcounted capacity).
+    pub fn is_physically_consistent(&self, tol_mbps: f64) -> bool {
+        self.lp.is_feasible(&self.per_path_steady_mbps, tol_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::PaperNetwork;
+    use simbase::SimDuration;
+
+    fn paper_scenario(algo: CcAlgo) -> Scenario {
+        let net = PaperNetwork::new();
+        Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_algo(algo)
+    }
+
+    #[test]
+    fn cubic_reaches_near_optimal_total() {
+        let result = paper_scenario(CcAlgo::Cubic).run();
+        assert!((result.lp.total_mbps - 90.0).abs() < 1e-6);
+        assert!(
+            result.efficiency() > 0.85,
+            "CUBIC should approach the optimum: {:.1} of {:.1} Mbps",
+            result.steady_total_mbps(),
+            result.lp.total_mbps
+        );
+        assert!(result.is_physically_consistent(2.0), "{:?}", result.per_path_steady_mbps);
+        assert!(result.drops > 0, "loss-based CC needs losses");
+    }
+
+    #[test]
+    fn lia_trails_cubic_on_average() {
+        // A per-seed comparison is noisy (the paper's own runs varied);
+        // the ordering claim is about the mean over seeds.
+        let mean = |algo: CcAlgo| -> f64 {
+            (1..=3u64)
+                .map(|seed| {
+                    paper_scenario(algo)
+                        .with_seed(seed)
+                        .with_timing(SimDuration::from_secs(10), SimDuration::from_millis(100))
+                        .run()
+                        .steady_total_mbps()
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        let cubic = mean(CcAlgo::Cubic);
+        let lia = mean(CcAlgo::Lia);
+        assert!(
+            lia < cubic + 1.0,
+            "LIA mean {lia:.1} should not beat CUBIC mean {cubic:.1}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = paper_scenario(CcAlgo::Olia).run();
+        let b = paper_scenario(CcAlgo::Olia).run();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.total.values(), b.total.values());
+        assert_eq!(a.drops, b.drops);
+    }
+
+    #[test]
+    fn per_path_series_shapes() {
+        let r = paper_scenario(CcAlgo::Cubic).run();
+        assert_eq!(r.per_path.len(), 3);
+        assert_eq!(r.per_path[0].label, "Path 1");
+        assert_eq!(r.total.len(), 40); // 4 s / 100 ms
+        for s in &r.per_path {
+            assert_eq!(s.len(), 40);
+        }
+    }
+
+    #[test]
+    fn throughput_never_exceeds_lp_plus_headers() {
+        // The LP bounds goodput-ish rates; wire rates include ~4% header
+        // overhead and binning jitter, so allow a small margin.
+        let r = paper_scenario(CcAlgo::Cubic).run();
+        for (i, v) in r.total.values().iter().enumerate() {
+            assert!(*v <= r.lp.total_mbps * 1.08 + 1.0, "bin {i}: {v:.1} Mbps");
+        }
+    }
+}

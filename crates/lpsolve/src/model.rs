@@ -1,0 +1,273 @@
+//! Linear program model builder.
+//!
+//! A thin, explicit representation: maximize `c·x` subject to linear
+//! constraints with `≤ / = / ≥` senses and `x ≥ 0`. The throughput problems
+//! in this workspace are tiny (a variable per path, a constraint per link),
+//! so clarity beats sparsity.
+
+use std::fmt;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Eq => "=",
+            Sense::Ge => ">=",
+        })
+    }
+}
+
+/// One linear constraint `coeffs · x (sense) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficient per variable (dense; length = variable count).
+    pub coeffs: Vec<f64>,
+    /// The sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional label (e.g. the link this capacity constraint models).
+    pub label: String,
+}
+
+/// A linear program: maximize `objective · x`, `x ≥ 0`, subject to
+/// [`Constraint`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    var_names: Vec<String>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with the given objective coefficient; returns its index.
+    pub fn add_var(&mut self, name: impl Into<String>, objective: f64) -> usize {
+        assert!(objective.is_finite());
+        self.var_names.push(name.into());
+        self.objective.push(objective);
+        // Extend existing constraints with a zero coefficient.
+        for c in &mut self.constraints {
+            c.coeffs.push(0.0);
+        }
+        self.var_names.len() - 1
+    }
+
+    /// Add a constraint given sparse `(var, coeff)` terms.
+    pub fn add_constraint(
+        &mut self,
+        label: impl Into<String>,
+        terms: &[(usize, f64)],
+        sense: Sense,
+        rhs: f64,
+    ) -> usize {
+        assert!(rhs.is_finite());
+        let mut coeffs = vec![0.0; self.var_names.len()];
+        for &(v, c) in terms {
+            assert!(v < coeffs.len(), "unknown variable {v}");
+            assert!(c.is_finite());
+            coeffs[v] += c;
+        }
+        self.constraints.push(Constraint { coeffs, sense, rhs, label: label.into() });
+        self.constraints.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable name.
+    pub fn var_name(&self, i: usize) -> &str {
+        &self.var_names[i]
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluate a candidate point's objective.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.objective.len());
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check feasibility of a candidate point within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+            match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+            }
+        })
+    }
+
+    /// Increase constraint `i`'s right-hand side by `delta` (sensitivity
+    /// analysis: what would one more unit of this resource be worth?).
+    pub fn relax_constraint(&mut self, i: usize, delta: f64) {
+        assert!(delta.is_finite());
+        self.constraints[i].rhs += delta;
+    }
+
+    /// The slack `rhs - lhs` of constraint `i` at point `x` (negated for
+    /// `≥` so that 0 always means tight and positive always means loose).
+    pub fn slack(&self, i: usize, x: &[f64]) -> f64 {
+        let c = &self.constraints[i];
+        let lhs: f64 = c.coeffs.iter().zip(x).map(|(a, v)| a * v).sum();
+        match c.sense {
+            Sense::Le | Sense::Eq => c.rhs - lhs,
+            Sense::Ge => lhs - c.rhs,
+        }
+    }
+}
+
+impl fmt::Display for LinearProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "maximize ")?;
+        for (i, c) in self.objective.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}·{}", c, self.var_names[i])?;
+        }
+        writeln!(f)?;
+        for c in &self.constraints {
+            write!(f, "  [{}] ", c.label)?;
+            let mut first = true;
+            for (i, &a) in c.coeffs.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                if !first {
+                    write!(f, " + ")?;
+                }
+                first = false;
+                if a == 1.0 {
+                    write!(f, "{}", self.var_names[i])?;
+                } else {
+                    write!(f, "{}·{}", a, self.var_names[i])?;
+                }
+            }
+            writeln!(f, " {} {}", c.sense, c.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_lp() -> LinearProgram {
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var("x1", 1.0);
+        let x2 = lp.add_var("x2", 1.0);
+        let x3 = lp.add_var("x3", 1.0);
+        lp.add_constraint("s-v1", &[(x1, 1.0), (x2, 1.0)], Sense::Le, 40.0);
+        lp.add_constraint("v4-v2", &[(x1, 1.0), (x3, 1.0)], Sense::Le, 60.0);
+        lp.add_constraint("v3-d", &[(x2, 1.0), (x3, 1.0)], Sense::Le, 80.0);
+        lp
+    }
+
+    #[test]
+    fn builder_tracks_shape() {
+        let lp = paper_lp();
+        assert_eq!(lp.num_vars(), 3);
+        assert_eq!(lp.num_constraints(), 3);
+        assert_eq!(lp.var_name(1), "x2");
+        assert_eq!(lp.objective(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn feasibility_and_objective() {
+        let lp = paper_lp();
+        // The paper's optimum.
+        let x = [10.0, 30.0, 50.0];
+        assert!(lp.is_feasible(&x, 1e-9));
+        assert_eq!(lp.objective_value(&x), 90.0);
+        // Infeasible points.
+        assert!(!lp.is_feasible(&[40.0, 40.0, 0.0], 1e-9));
+        assert!(!lp.is_feasible(&[-1.0, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn slack_is_zero_on_tight_constraints() {
+        let lp = paper_lp();
+        let x = [10.0, 30.0, 50.0];
+        for i in 0..3 {
+            assert!(lp.slack(i, &x).abs() < 1e-9, "constraint {i} should be tight");
+        }
+        let x = [0.0, 0.0, 0.0];
+        assert_eq!(lp.slack(0, &x), 40.0);
+    }
+
+    #[test]
+    fn late_variables_extend_constraints() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var("a", 1.0);
+        lp.add_constraint("c0", &[(a, 1.0)], Sense::Le, 5.0);
+        let b = lp.add_var("b", 2.0);
+        lp.add_constraint("c1", &[(a, 1.0), (b, 1.0)], Sense::Le, 7.0);
+        assert_eq!(lp.constraints()[0].coeffs.len(), 2);
+        assert_eq!(lp.constraints()[0].coeffs[1], 0.0);
+    }
+
+    #[test]
+    fn ge_and_eq_senses() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var("a", 1.0);
+        lp.add_constraint("min", &[(a, 1.0)], Sense::Ge, 2.0);
+        lp.add_constraint("pin", &[(a, 1.0)], Sense::Eq, 3.0);
+        assert!(lp.is_feasible(&[3.0], 1e-9));
+        assert!(!lp.is_feasible(&[2.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0], 1e-9));
+        assert!(lp.slack(0, &[3.0]) > 0.0);
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let lp = paper_lp();
+        let s = format!("{lp}");
+        assert!(s.contains("maximize"), "{s}");
+        assert!(s.contains("x1 + x2 <= 40"), "{s}");
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let mut lp = LinearProgram::new();
+        let a = lp.add_var("a", 1.0);
+        lp.add_constraint("c", &[(a, 1.0), (a, 2.0)], Sense::Le, 6.0);
+        assert_eq!(lp.constraints()[0].coeffs[0], 3.0);
+    }
+}

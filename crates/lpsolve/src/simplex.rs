@@ -1,0 +1,443 @@
+//! Two-phase dense simplex with Bland's anti-cycling rule.
+//!
+//! Generic over [`LpNum`], so the identical pivot code runs in `f64` and in
+//! exact rational arithmetic. The problems here are tiny (tens of variables
+//! and constraints), so a dense tableau with Bland's rule — slow but
+//! provably terminating — is the right engineering trade.
+//!
+//! Normal form handled internally: `x ≥ 0`; each `≤` row gets a slack, each
+//! `≥` row a surplus plus an artificial, each `=` row an artificial; phase 1
+//! minimizes the artificial sum to find a basic feasible solution, phase 2
+//! optimizes the real objective.
+
+use crate::model::{LinearProgram, Sense};
+use crate::num::LpNum;
+
+/// The outcome of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome<T> {
+    /// An optimal solution exists.
+    Optimal {
+        /// Objective value.
+        objective: T,
+        /// Primal solution (original variables only).
+        x: Vec<T>,
+    },
+    /// No feasible point.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// A dense simplex tableau.
+struct Tableau<T> {
+    /// rows[m][n+1]: constraint rows, last column is the RHS.
+    rows: Vec<Vec<T>>,
+    /// Objective row (reduced costs), length n+1; maximization.
+    obj: Vec<T>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    n: usize,
+}
+
+impl<T: LpNum> Tableau<T> {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.rows[row][col].clone();
+        debug_assert!(!pivot_val.near_zero(), "pivot on (near-)zero element");
+        // Normalize pivot row.
+        for v in self.rows[row].iter_mut() {
+            *v = v.div(&pivot_val);
+        }
+        // Eliminate the column from all other rows and the objective.
+        for r in 0..self.rows.len() {
+            if r == row {
+                continue;
+            }
+            let factor = self.rows[r][col].clone();
+            if factor.near_zero() {
+                continue;
+            }
+            for c in 0..=self.n {
+                let delta = factor.mul(&self.rows[row][c]);
+                self.rows[r][c] = self.rows[r][c].sub(&delta);
+            }
+        }
+        let factor = self.obj[col].clone();
+        if !factor.near_zero() {
+            for c in 0..=self.n {
+                let delta = factor.mul(&self.rows[row][c]);
+                self.obj[c] = self.obj[c].sub(&delta);
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run the simplex loop on the current objective row, allowing only
+    /// columns `< col_limit` to enter (phase 2 excludes artificials).
+    /// Bland's rule: entering = lowest-index column with positive reduced
+    /// cost; leaving = lowest ratio, ties by lowest basic-variable index.
+    /// Returns false if unbounded.
+    fn optimize(&mut self, col_limit: usize) -> bool {
+        loop {
+            // Entering column (maximization: positive coefficient in obj).
+            let Some(col) = (0..col_limit).find(|&c| self.obj[c].gt_zero()) else {
+                return true; // optimal
+            };
+            // Ratio test.
+            let mut best: Option<(usize, T)> = None;
+            for r in 0..self.rows.len() {
+                let a = &self.rows[r][col];
+                if !a.gt_zero() {
+                    continue;
+                }
+                let ratio = self.rows[r][self.n].div(a);
+                let better = match &best {
+                    None => true,
+                    Some((br, bratio)) => {
+                        ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                    }
+                };
+                if better {
+                    best = Some((r, ratio));
+                }
+            }
+            let Some((row, _)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solve `lp` (maximization) in the arithmetic of `T`.
+pub fn solve<T: LpNum>(lp: &LinearProgram) -> LpOutcome<T> {
+    let m = lp.num_constraints();
+    let nv = lp.num_vars();
+
+    // Column layout: [original 0..nv | slack/surplus | artificials].
+    let mut n = nv;
+    let mut slack_col = vec![None; m];
+    for (i, c) in lp.constraints().iter().enumerate() {
+        match c.sense {
+            Sense::Le | Sense::Ge => {
+                slack_col[i] = Some(n);
+                n += 1;
+            }
+            Sense::Eq => {}
+        }
+    }
+    let art_start = n;
+    // Every row gets an artificial if it needs one: Ge and Eq always; Le
+    // only if rhs < 0 (after which we flip the row; our builder keeps rhs
+    // finite but possibly negative).
+    let mut art_col = vec![None; m];
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let needs_art = match c.sense {
+            Sense::Le => c.rhs < 0.0,
+            Sense::Ge => c.rhs >= 0.0 || true, // after normalization may flip; decide below
+            Sense::Eq => true,
+        };
+        if needs_art {
+            art_col[i] = Some(n);
+            n += 1;
+        }
+    }
+
+    let mut rows: Vec<Vec<T>> = Vec::with_capacity(m);
+    let mut basis = vec![0usize; m];
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let mut row: Vec<T> = vec![T::zero(); n + 1];
+        // Row sign normalization so RHS >= 0.
+        let flip = c.rhs < 0.0;
+        let sgn = if flip { -1.0 } else { 1.0 };
+        for (j, &a) in c.coeffs.iter().enumerate() {
+            row[j] = T::from_f64(sgn * a);
+        }
+        row[n] = T::from_f64(sgn * c.rhs);
+        // Slack/surplus sign: Le gets +1 (or -1 if flipped), Ge gets -1
+        // (or +1 if flipped).
+        if let Some(sc) = slack_col[i] {
+            let coeff = match (c.sense, flip) {
+                (Sense::Le, false) | (Sense::Ge, true) => T::one(),
+                (Sense::Le, true) | (Sense::Ge, false) => T::one().neg(),
+                (Sense::Eq, _) => unreachable!(),
+            };
+            row[sc] = coeff;
+        }
+        rows.push(row);
+        basis[i] = usize::MAX; // assigned below
+    }
+
+    // Decide the initial basis: a slack with +1 coefficient can be basic
+    // directly; otherwise use the artificial.
+    let mut art_needed = vec![false; m];
+    for i in 0..m {
+        if let Some(sc) = slack_col[i] {
+            if rows[i][sc] == T::one() {
+                basis[i] = sc;
+                continue;
+            }
+        }
+        art_needed[i] = true;
+    }
+    // (Re)assign artificial columns compactly for the rows that need them.
+    let mut next_art = art_start;
+    // First wipe optimistic assignments from the sizing pass and recount.
+    for i in 0..m {
+        art_col[i] = None;
+        if art_needed[i] {
+            art_col[i] = Some(next_art);
+            next_art += 1;
+        }
+    }
+    let n = next_art; // final column count
+    for (i, row) in rows.iter_mut().enumerate() {
+        // Resize row to n+1, moving the RHS into the last slot.
+        let rhs = row.pop().unwrap();
+        row.resize(n, T::zero());
+        row.push(rhs);
+        if let Some(ac) = art_col[i] {
+            row[ac] = T::one();
+            basis[i] = ac;
+        }
+    }
+
+    let mut tab = Tableau { rows, obj: vec![T::zero(); n + 1], basis, n };
+
+    // Phase 1: maximize -(sum of artificials).
+    if (art_start..n).next().is_some() {
+        for c in art_start..n {
+            tab.obj[c] = T::one().neg();
+        }
+        // Price out basic artificials (their rows currently contain them
+        // with coefficient 1).
+        for r in 0..m {
+            if tab.basis[r] >= art_start {
+                for c in 0..=n {
+                    let delta = tab.rows[r][c].clone();
+                    tab.obj[c] = tab.obj[c].add(&delta);
+                }
+            }
+        }
+        if !tab.optimize(n) {
+            // Phase-1 objective is bounded by construction; treat as bug.
+            unreachable!("phase 1 cannot be unbounded");
+        }
+        // Feasible iff the artificial sum is zero: obj value = -sum.
+        if !tab.obj[n].near_zero() {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificials remaining in the basis out (degenerate).
+        for r in 0..m {
+            if tab.basis[r] >= art_start {
+                if let Some(col) = (0..art_start).find(|&c| !tab.rows[r][c].near_zero()) {
+                    tab.pivot(r, col);
+                }
+                // If the whole row is zero the constraint was redundant;
+                // leaving the artificial basic at value 0 is harmless.
+            }
+        }
+    }
+
+    // Phase 2: the real objective, with artificial columns frozen at zero.
+    for c in 0..=n {
+        tab.obj[c] = T::zero();
+    }
+    for (j, &cj) in lp.objective().iter().enumerate() {
+        tab.obj[j] = T::from_f64(cj);
+    }
+    // Price out the basic variables.
+    for r in 0..m {
+        let b = tab.basis[r];
+        let factor = tab.obj[b].clone();
+        if factor.near_zero() {
+            continue;
+        }
+        for c in 0..=n {
+            let delta = factor.mul(&tab.rows[r][c]);
+            tab.obj[c] = tab.obj[c].sub(&delta);
+        }
+    }
+    // Artificial columns are excluded from entering, so they stay at zero.
+    if !tab.optimize(art_start) {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract the solution.
+    let mut x = vec![T::zero(); nv];
+    for r in 0..m {
+        let b = tab.basis[r];
+        if b < nv {
+            x[b] = tab.rows[r][n].clone();
+        }
+    }
+    // Objective value: -obj[n] after pricing (obj row holds z - c·x form);
+    // recompute directly from x for robustness.
+    let mut objective = T::zero();
+    for (j, &cj) in lp.objective().iter().enumerate() {
+        objective = objective.add(&T::from_f64(cj).mul(&x[j]));
+    }
+    LpOutcome::Optimal { objective, x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::Rational;
+
+    fn assert_optimal_f64(lp: &LinearProgram, want_obj: f64, want_x: Option<&[f64]>) {
+        match solve::<f64>(lp) {
+            LpOutcome::Optimal { objective, x } => {
+                assert!((objective - want_obj).abs() < 1e-6, "objective {objective} != {want_obj}");
+                assert!(lp.is_feasible(&x, 1e-6), "solution infeasible: {x:?}");
+                if let Some(w) = want_x {
+                    for (a, b) in x.iter().zip(w) {
+                        assert!((a - b).abs() < 1e-6, "x {x:?} != {w:?}");
+                    }
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_lp_gives_90() {
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var("x1", 1.0);
+        let x2 = lp.add_var("x2", 1.0);
+        let x3 = lp.add_var("x3", 1.0);
+        lp.add_constraint("b12", &[(x1, 1.0), (x2, 1.0)], Sense::Le, 40.0);
+        lp.add_constraint("b13", &[(x1, 1.0), (x3, 1.0)], Sense::Le, 60.0);
+        lp.add_constraint("b23", &[(x2, 1.0), (x3, 1.0)], Sense::Le, 80.0);
+        assert_optimal_f64(&lp, 90.0, Some(&[10.0, 30.0, 50.0]));
+        // Exact arithmetic agrees.
+        match solve::<Rational>(&lp) {
+            LpOutcome::Optimal { objective, x } => {
+                assert_eq!(objective, Rational::from_int(90));
+                assert_eq!(x, vec![
+                    Rational::from_int(10),
+                    Rational::from_int(30),
+                    Rational::from_int(50)
+                ]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_erratum_variant_also_90_but_permuted() {
+        // The constraint set as literally printed in the paper.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var("x1", 1.0);
+        let x2 = lp.add_var("x2", 1.0);
+        let x3 = lp.add_var("x3", 1.0);
+        lp.add_constraint("b12", &[(x1, 1.0), (x2, 1.0)], Sense::Le, 40.0);
+        lp.add_constraint("b23", &[(x2, 1.0), (x3, 1.0)], Sense::Le, 60.0);
+        lp.add_constraint("b13", &[(x1, 1.0), (x3, 1.0)], Sense::Le, 80.0);
+        assert_optimal_f64(&lp, 90.0, Some(&[30.0, 10.0, 50.0]));
+    }
+
+    #[test]
+    fn single_variable_box() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 3.0);
+        lp.add_constraint("cap", &[(x, 1.0)], Sense::Le, 7.0);
+        assert_optimal_f64(&lp, 21.0, Some(&[7.0]));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 0.0);
+        lp.add_constraint("only-y", &[(y, 1.0)], Sense::Le, 5.0);
+        let _ = x;
+        assert_eq!(solve::<f64>(&lp), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 10.0);
+        lp.add_constraint("hi", &[(x, 1.0)], Sense::Le, 5.0);
+        assert_eq!(solve::<f64>(&lp), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn equality_constraints_work() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        let y = lp.add_var("y", 1.0);
+        lp.add_constraint("pin", &[(x, 1.0)], Sense::Eq, 3.0);
+        lp.add_constraint("cap", &[(x, 1.0), (y, 1.0)], Sense::Le, 10.0);
+        assert_optimal_f64(&lp, 10.0, Some(&[3.0, 7.0]));
+    }
+
+    #[test]
+    fn ge_constraints_force_lower_bounds() {
+        // minimize-ish: maximize -x with x >= 4  ->  x = 4.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", -1.0);
+        lp.add_constraint("lo", &[(x, 1.0)], Sense::Ge, 4.0);
+        lp.add_constraint("hi", &[(x, 1.0)], Sense::Le, 100.0);
+        assert_optimal_f64(&lp, -4.0, Some(&[4.0]));
+    }
+
+    #[test]
+    fn degenerate_redundant_constraints() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", 1.0);
+        lp.add_constraint("a", &[(x, 1.0)], Sense::Le, 5.0);
+        lp.add_constraint("b", &[(x, 1.0)], Sense::Le, 5.0);
+        lp.add_constraint("c", &[(x, 2.0)], Sense::Le, 10.0);
+        assert_optimal_f64(&lp, 5.0, Some(&[5.0]));
+    }
+
+    #[test]
+    fn negative_rhs_row_is_normalized() {
+        // -x <= -2  ==  x >= 2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x", -1.0);
+        lp.add_constraint("lo", &[(x, -1.0)], Sense::Le, -2.0);
+        lp.add_constraint("hi", &[(x, 1.0)], Sense::Le, 9.0);
+        assert_optimal_f64(&lp, -2.0, Some(&[2.0]));
+    }
+
+    #[test]
+    fn klee_minty_3d_terminates() {
+        // A classic worst case for naive pivoting; Bland's rule must
+        // terminate and find 10^3-ish optimum.
+        let mut lp = LinearProgram::new();
+        let xs: Vec<usize> = (0..3).map(|i| lp.add_var(format!("x{i}"), 10f64.powi(2 - i))).collect();
+        // Constraints: 2*sum_{j<i} 10^(i-j) x_j + x_i <= 100^i
+        for i in 0..3 {
+            let mut terms = Vec::new();
+            for (j, &xj) in xs.iter().enumerate().take(i) {
+                terms.push((xj, 2.0 * 10f64.powi((i - j) as i32)));
+            }
+            terms.push((xs[i], 1.0));
+            lp.add_constraint(format!("c{i}"), &terms, Sense::Le, 100f64.powi(i as i32 + 1));
+        }
+        match solve::<f64>(&lp) {
+            LpOutcome::Optimal { objective, .. } => {
+                assert!((objective - 1_000_000.0).abs() < 1e-3, "{objective}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints at all but zero objective: optimal trivially.
+        let mut lp = LinearProgram::new();
+        lp.add_var("x", 0.0);
+        match solve::<f64>(&lp) {
+            LpOutcome::Optimal { objective, x } => {
+                assert_eq!(objective, 0.0);
+                assert_eq!(x, vec![0.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Data-sequence-number bookkeeping.
+//!
+//! MPTCP stripes one connection-level byte stream (numbered by DSNs) across
+//! subflows, each with its own subflow-level sequence space. The glue is the
+//! DSS mapping: *subflow offset range → DSN range*. [`MappingTable`] stores
+//! the mappings the scheduler creates on the send side and answers "what
+//! DSN does this subflow byte carry"; [`IntervalSet`] performs
+//! connection-level reassembly on the receive side (duplicate-tolerant,
+//! which is what makes the redundant scheduler work for free).
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint half-open `u64` intervals with a distinguished
+/// "delivered prefix" (everything below `next`).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    next: u64,
+    /// Out-of-order ranges strictly above `next`: start → end.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl IntervalSet {
+    /// Empty set with delivered prefix 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The end of the contiguous delivered prefix.
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of buffered out-of-order ranges.
+    pub fn pending_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total bytes buffered out of order.
+    pub fn pending_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Insert `[start, end)`. Returns the number of *new* bytes this
+    /// insertion contributed (0 for a pure duplicate).
+    pub fn insert(&mut self, start: u64, end: u64) -> u64 {
+        assert!(start <= end, "inverted interval");
+        if end <= self.next {
+            return 0; // entirely old
+        }
+        let mut start = start.max(self.next);
+        let mut end = end;
+        let mut new_bytes = end - start;
+
+        // Merge with overlapping/adjacent stored ranges.
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start {
+                // Overlaps from the left.
+                new_bytes = new_bytes.saturating_sub(e.min(end).saturating_sub(start));
+                start = s;
+                end = end.max(e);
+                self.ranges.remove(&s);
+            }
+        }
+        let overlapping: Vec<u64> = self.ranges.range(start..=end).map(|(&s, _)| s).collect();
+        for s in overlapping {
+            let e = self.ranges.remove(&s).unwrap();
+            new_bytes = new_bytes.saturating_sub(e.min(end).saturating_sub(s.max(start)).min(e - s));
+            end = end.max(e);
+        }
+
+        if start <= self.next {
+            self.next = end.max(self.next);
+            // Absorb newly contiguous ranges.
+            while let Some((&s, &e)) = self.ranges.first_key_value() {
+                if s > self.next {
+                    break;
+                }
+                self.ranges.pop_first();
+                if e > self.next {
+                    self.next = e;
+                }
+            }
+        } else {
+            self.ranges.insert(start, end);
+        }
+        new_bytes
+    }
+
+    /// True if `[start, end)` is fully contained (delivered or buffered).
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if end <= self.next {
+            return true;
+        }
+        if start < self.next {
+            return self.contains(self.next, end);
+        }
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+}
+
+/// One DSS mapping: `len` bytes at subflow offset `subflow_start` carry
+/// DSNs starting at `dsn_start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Subflow-level stream offset of the first byte.
+    pub subflow_start: u64,
+    /// Connection-level DSN of the first byte.
+    pub dsn_start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Mapping {
+    /// End of the subflow-offset range (exclusive).
+    pub fn subflow_end(&self) -> u64 {
+        self.subflow_start + self.len
+    }
+}
+
+/// The ordered mapping list for one subflow (send side).
+///
+/// The scheduler appends mappings with strictly increasing, contiguous
+/// subflow offsets (that is how data is pushed into the subflow's sender);
+/// DSN ranges are arbitrary (interleaved across subflows, or duplicated by
+/// the redundant scheduler).
+#[derive(Debug, Clone, Default)]
+pub struct MappingTable {
+    maps: Vec<Mapping>,
+    /// Index of the first mapping that may still be needed (mappings whose
+    /// data is fully acknowledged are pruned lazily).
+    low: usize,
+}
+
+impl MappingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a mapping. The subflow offset must continue exactly where the
+    /// previous mapping ended.
+    pub fn push(&mut self, m: Mapping) {
+        if let Some(last) = self.maps.last() {
+            assert_eq!(m.subflow_start, last.subflow_end(), "mapping gap");
+        }
+        assert!(m.len > 0, "empty mapping");
+        self.maps.push(m);
+    }
+
+    /// Total subflow bytes mapped so far.
+    pub fn mapped_end(&self) -> u64 {
+        self.maps.last().map(|m| m.subflow_end()).unwrap_or(0)
+    }
+
+    /// Split the subflow range `[offset, offset+len)` into
+    /// `(dsn, piece_len)` pieces, one per mapping it crosses. Panics if any
+    /// part of the range is unmapped (a scheduler bug).
+    pub fn lookup(&self, offset: u64, len: u32) -> Vec<(u64, u32)> {
+        let mut out = Vec::with_capacity(1);
+        let mut cur = offset;
+        let end = offset + len as u64;
+        // Binary search for the mapping containing `cur`.
+        let mut idx = match self.maps[self.low..].binary_search_by(|m| {
+            if m.subflow_end() <= cur {
+                std::cmp::Ordering::Less
+            } else if m.subflow_start > cur {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => self.low + i,
+            Err(_) => panic!("offset {cur} not mapped"),
+        };
+        while cur < end {
+            let m = self.maps.get(idx).unwrap_or_else(|| panic!("range [{offset}, {end}) runs past mappings"));
+            debug_assert!(m.subflow_start <= cur && cur < m.subflow_end());
+            let piece_end = end.min(m.subflow_end());
+            let dsn = m.dsn_start + (cur - m.subflow_start);
+            out.push((dsn, (piece_end - cur) as u32));
+            cur = piece_end;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Drop mappings entirely below `acked_subflow_offset` (no longer
+    /// needed for retransmission).
+    pub fn prune(&mut self, acked_subflow_offset: u64) {
+        while self.low < self.maps.len() && self.maps[self.low].subflow_end() <= acked_subflow_offset {
+            self.low += 1;
+        }
+        // Physically compact occasionally to bound memory.
+        if self.low > 1024 {
+            self.maps.drain(..self.low);
+            self.low = 0;
+        }
+    }
+
+    /// Mappings currently retained (diagnostics).
+    pub fn live_mappings(&self) -> usize {
+        self.maps.len() - self.low
+    }
+
+    /// Iterate the (clipped) mapping pieces covering subflow offsets at or
+    /// above `offset` — the data a failed subflow still owes the
+    /// connection, used by failover reinjection.
+    pub fn live_after(&self, offset: u64) -> impl Iterator<Item = Mapping> + '_ {
+        self.maps[self.low..].iter().filter_map(move |m| {
+            if m.subflow_end() <= offset {
+                None
+            } else if m.subflow_start >= offset {
+                Some(*m)
+            } else {
+                let skip = offset - m.subflow_start;
+                Some(Mapping {
+                    subflow_start: offset,
+                    dsn_start: m.dsn_start + skip,
+                    len: m.len - skip,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_in_order_delivery() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert(0, 100), 100);
+        assert_eq!(s.insert(100, 250), 150);
+        assert_eq!(s.next_expected(), 250);
+        assert_eq!(s.pending_ranges(), 0);
+    }
+
+    #[test]
+    fn interval_out_of_order_and_fill() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert(100, 200), 100);
+        assert_eq!(s.next_expected(), 0);
+        assert_eq!(s.pending_ranges(), 1);
+        assert_eq!(s.pending_bytes(), 100);
+        assert_eq!(s.insert(0, 100), 100);
+        assert_eq!(s.next_expected(), 200);
+        assert_eq!(s.pending_ranges(), 0);
+    }
+
+    #[test]
+    fn interval_duplicates_count_zero() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        assert_eq!(s.insert(0, 100), 0);
+        assert_eq!(s.insert(50, 80), 0);
+        s.insert(200, 300);
+        assert_eq!(s.insert(200, 300), 0);
+        assert_eq!(s.insert(250, 280), 0);
+    }
+
+    #[test]
+    fn interval_partial_overlaps() {
+        let mut s = IntervalSet::new();
+        s.insert(100, 200);
+        // Extends an existing range on both sides.
+        assert_eq!(s.insert(50, 120), 50);
+        assert_eq!(s.insert(180, 250), 50);
+        assert_eq!(s.pending_ranges(), 1);
+        assert_eq!(s.pending_bytes(), 200);
+        assert!(s.contains(50, 250));
+        assert!(!s.contains(40, 250));
+        assert!(!s.contains(50, 251));
+    }
+
+    #[test]
+    fn interval_bridge_merges_ranges() {
+        let mut s = IntervalSet::new();
+        s.insert(100, 200);
+        s.insert(300, 400);
+        assert_eq!(s.pending_ranges(), 2);
+        // The bridge merges everything.
+        assert_eq!(s.insert(200, 300), 100);
+        assert_eq!(s.pending_ranges(), 1);
+        assert!(s.contains(100, 400));
+    }
+
+    #[test]
+    fn interval_straddles_delivered_prefix() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        // [50, 150): only [100, 150) is new.
+        assert_eq!(s.insert(50, 150), 50);
+        assert_eq!(s.next_expected(), 150);
+    }
+
+    #[test]
+    fn mapping_contiguous_lookup() {
+        let mut t = MappingTable::new();
+        t.push(Mapping { subflow_start: 0, dsn_start: 1000, len: 1460 });
+        t.push(Mapping { subflow_start: 1460, dsn_start: 5000, len: 1460 });
+        assert_eq!(t.mapped_end(), 2920);
+        // Inside the first mapping.
+        assert_eq!(t.lookup(0, 1460), vec![(1000, 1460)]);
+        assert_eq!(t.lookup(100, 100), vec![(1100, 100)]);
+        // Crossing the boundary splits.
+        assert_eq!(t.lookup(1400, 120), vec![(2400, 60), (5000, 60)]);
+    }
+
+    #[test]
+    fn mapping_prune_keeps_needed() {
+        let mut t = MappingTable::new();
+        for i in 0..10u64 {
+            t.push(Mapping { subflow_start: i * 100, dsn_start: i * 1000, len: 100 });
+        }
+        t.prune(450);
+        assert_eq!(t.live_mappings(), 6); // [400,500) still needed
+        assert_eq!(t.lookup(450, 50), vec![(4050, 50)]);
+        t.prune(1000);
+        assert_eq!(t.live_mappings(), 0);
+    }
+
+    #[test]
+    fn live_after_clips_partial_mappings() {
+        let mut t = MappingTable::new();
+        t.push(Mapping { subflow_start: 0, dsn_start: 100, len: 1000 });
+        t.push(Mapping { subflow_start: 1000, dsn_start: 5000, len: 500 });
+        let live: Vec<Mapping> = t.live_after(400).collect();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0], Mapping { subflow_start: 400, dsn_start: 500, len: 600 });
+        assert_eq!(live[1], Mapping { subflow_start: 1000, dsn_start: 5000, len: 500 });
+        assert_eq!(t.live_after(1500).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping gap")]
+    fn mapping_rejects_gaps() {
+        let mut t = MappingTable::new();
+        t.push(Mapping { subflow_start: 0, dsn_start: 0, len: 100 });
+        t.push(Mapping { subflow_start: 200, dsn_start: 100, len: 100 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not mapped")]
+    fn lookup_unmapped_panics() {
+        let t = MappingTable::new();
+        let _ = t.lookup(0, 1);
+    }
+
+    #[test]
+    fn redundant_mappings_share_dsn() {
+        // Two subflow tables mapping different subflow bytes to the SAME dsn
+        // range (the redundant scheduler), reassembled once.
+        let mut t1 = MappingTable::new();
+        let mut t2 = MappingTable::new();
+        t1.push(Mapping { subflow_start: 0, dsn_start: 0, len: 1000 });
+        t2.push(Mapping { subflow_start: 0, dsn_start: 0, len: 1000 });
+        let mut conn = IntervalSet::new();
+        let (d1, l1) = t1.lookup(0, 1000)[0];
+        assert_eq!(conn.insert(d1, d1 + l1 as u64), 1000);
+        let (d2, l2) = t2.lookup(0, 1000)[0];
+        assert_eq!(conn.insert(d2, d2 + l2 as u64), 0, "duplicate contributes nothing");
+        assert_eq!(conn.next_expected(), 1000);
+    }
+}

@@ -1,0 +1,646 @@
+//! Output queues: the component that actually creates the paper's dynamics.
+//!
+//! Every link direction has one queue. When a packet arrives at a busy link
+//! it is offered to the queue, which decides to buffer or drop it. Tail
+//! drops at the three shared bottleneck links are the *only* congestion
+//! signal in the reproduced experiments, exactly as in the Mininet setup
+//! (tc/netem drop-tail). A RED variant is provided for ablations.
+
+use crate::packet::Packet;
+use simbase::rng::SimRng;
+use simbase::{SimDuration, SimTime};
+
+/// Why a queue refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The buffer was full (drop-tail).
+    TailDrop,
+    /// RED decided to drop early.
+    EarlyDrop,
+}
+
+/// The outcome of offering a packet to a queue.
+#[derive(Debug)]
+pub enum EnqueueResult {
+    /// Packet accepted and buffered.
+    Queued,
+    /// Packet rejected; the caller records the drop.
+    Dropped(DropReason),
+}
+
+/// The outcome of a dequeue: the packet to transmit (if any) plus packets
+/// the queue decided to drop at dequeue time (CoDel's head drops).
+#[derive(Debug, Default)]
+pub struct Dequeued {
+    /// The packet to serialize next.
+    pub pkt: Option<Packet>,
+    /// Packets discarded by the AQM while finding `pkt`.
+    pub dropped: Vec<Packet>,
+}
+
+/// A FIFO output queue with an admission policy.
+///
+/// Implementations must be FIFO — TCP's fast-retransmit logic depends on
+/// in-order delivery within a path, and the paper's tag routing guarantees
+/// one path per tag.
+pub trait Queue: std::fmt::Debug {
+    /// Offer `pkt` to the queue at time `now`. `rng` is provided for
+    /// randomized AQM.
+    fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut dyn SimRng) -> EnqueueResult;
+
+    /// Remove the next packet to transmit at time `now`. Head-dropping AQMs
+    /// (CoDel) may also return packets they discarded while deciding.
+    fn dequeue(&mut self, now: SimTime) -> Dequeued;
+
+    /// Number of packets currently buffered.
+    fn len_packets(&self) -> usize;
+
+    /// Bytes currently buffered (wire sizes).
+    fn len_bytes(&self) -> u64;
+
+    /// True if no packets are buffered.
+    fn is_empty(&self) -> bool {
+        self.len_packets() == 0
+    }
+}
+
+/// Configuration for a link's output queue, chosen per link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueConfig {
+    /// Classic drop-tail bounded by packet count (Linux `txqueuelen` style).
+    DropTailPackets(usize),
+    /// Drop-tail bounded by bytes.
+    DropTailBytes(u64),
+    /// Random Early Detection.
+    Red(RedConfig),
+    /// CoDel (Controlled Delay, RFC 8289): sojourn-time-based head drops.
+    CoDel(CoDelConfig),
+}
+
+impl QueueConfig {
+    /// Instantiate the queue.
+    pub fn build(&self) -> Box<dyn Queue> {
+        match *self {
+            QueueConfig::DropTailPackets(n) => Box::new(DropTail::packets(n)),
+            QueueConfig::DropTailBytes(b) => Box::new(DropTail::bytes(b)),
+            QueueConfig::Red(cfg) => Box::new(Red::new(cfg)),
+            QueueConfig::CoDel(cfg) => Box::new(CoDel::new(cfg)),
+        }
+    }
+}
+
+impl Default for QueueConfig {
+    /// 64 packets: roughly 1.5–2x the bandwidth-delay product of the paper
+    /// topology's bottlenecks at millisecond RTTs.
+    fn default() -> Self {
+        QueueConfig::DropTailPackets(64)
+    }
+}
+
+/// Drop-tail FIFO, bounded by packets or bytes.
+#[derive(Debug)]
+pub struct DropTail {
+    buf: std::collections::VecDeque<Packet>,
+    bytes: u64,
+    max_packets: usize,
+    max_bytes: u64,
+}
+
+impl DropTail {
+    /// Bound by packet count.
+    pub fn packets(max_packets: usize) -> Self {
+        assert!(max_packets > 0, "queue must hold at least one packet");
+        DropTail { buf: Default::default(), bytes: 0, max_packets, max_bytes: u64::MAX }
+    }
+
+    /// Bound by byte count.
+    pub fn bytes(max_bytes: u64) -> Self {
+        assert!(max_bytes > 0, "queue must hold at least one byte");
+        DropTail { buf: Default::default(), bytes: 0, max_packets: usize::MAX, max_bytes }
+    }
+}
+
+impl Queue for DropTail {
+    fn enqueue(&mut self, _now: SimTime, pkt: Packet, _rng: &mut dyn SimRng) -> EnqueueResult {
+        let size = pkt.wire_size() as u64;
+        if self.buf.len() + 1 > self.max_packets || self.bytes + size > self.max_bytes {
+            return EnqueueResult::Dropped(DropReason::TailDrop);
+        }
+        self.bytes += size;
+        self.buf.push_back(pkt);
+        EnqueueResult::Queued
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Dequeued {
+        let pkt = self.buf.pop_front();
+        if let Some(p) = &pkt {
+            self.bytes -= p.wire_size() as u64;
+        }
+        Dequeued { pkt, dropped: Vec::new() }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// RED (Floyd & Jacobson 1993) parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// Hard capacity in packets.
+    pub max_packets: usize,
+    /// Average-queue threshold below which nothing is dropped.
+    pub min_thresh: f64,
+    /// Average-queue threshold above which everything is dropped.
+    pub max_thresh: f64,
+    /// Drop probability at `max_thresh`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue estimate.
+    pub weight: f64,
+    /// Mark ECN-capable packets (set CE) instead of early-dropping them
+    /// (RFC 3168 §5): the AQM signal without the loss.
+    pub ecn_marking: bool,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        RedConfig {
+            max_packets: 64,
+            min_thresh: 5.0,
+            max_thresh: 32.0,
+            max_p: 0.1,
+            weight: 0.002,
+            ecn_marking: false,
+        }
+    }
+}
+
+/// Random Early Detection queue (gentle variant not implemented; classic
+/// linear ramp between `min_thresh` and `max_thresh`).
+#[derive(Debug)]
+pub struct Red {
+    inner: DropTail,
+    cfg: RedConfig,
+    avg: f64,
+    /// Packets since the last drop (sharpens inter-drop spacing as in the
+    /// original paper's `count` term).
+    count: i64,
+}
+
+impl Red {
+    /// Create a RED queue with the given parameters.
+    pub fn new(cfg: RedConfig) -> Self {
+        assert!(cfg.min_thresh < cfg.max_thresh, "RED thresholds inverted");
+        assert!((0.0..=1.0).contains(&cfg.max_p), "max_p out of range");
+        Red { inner: DropTail::packets(cfg.max_packets), cfg, avg: 0.0, count: -1 }
+    }
+
+    /// Current average-queue estimate (for tests/instrumentation).
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+}
+
+impl Queue for Red {
+    fn enqueue(&mut self, now: SimTime, mut pkt: Packet, rng: &mut dyn SimRng) -> EnqueueResult {
+        let _ = now;
+        // Update the EWMA of the instantaneous queue length.
+        self.avg = (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.inner.len_packets() as f64;
+
+        // Decide whether the AQM wants to signal congestion on this packet.
+        let mut signal = false;
+        if self.avg >= self.cfg.max_thresh {
+            self.count = 0;
+            signal = true;
+        } else if self.avg > self.cfg.min_thresh {
+            self.count += 1;
+            let pb = self.cfg.max_p * (self.avg - self.cfg.min_thresh)
+                / (self.cfg.max_thresh - self.cfg.min_thresh);
+            let pa = (pb / (1.0 - (self.count as f64) * pb).max(1e-9)).clamp(0.0, 1.0);
+            if rng.chance(pa) {
+                self.count = 0;
+                signal = true;
+            }
+        } else {
+            self.count = -1;
+        }
+        if signal {
+            if self.cfg.ecn_marking && pkt.ecn == crate::packet::Ecn::Ect {
+                // Mark instead of dropping (RFC 3168).
+                pkt.ecn = crate::packet::Ecn::Ce;
+            } else {
+                return EnqueueResult::Dropped(DropReason::EarlyDrop);
+            }
+        }
+        match self.inner.enqueue(SimTime::ZERO, pkt, rng) {
+            EnqueueResult::Queued => EnqueueResult::Queued,
+            EnqueueResult::Dropped(_) => {
+                self.count = 0;
+                EnqueueResult::Dropped(DropReason::TailDrop)
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Dequeued {
+        self.inner.dequeue(now)
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+}
+
+/// CoDel parameters (RFC 8289 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoDelConfig {
+    /// Hard capacity in packets (a backstop; CoDel itself is unbounded).
+    pub max_packets: usize,
+    /// Acceptable standing sojourn time.
+    pub target: SimDuration,
+    /// Sliding window in which the sojourn must fall below target.
+    pub interval: SimDuration,
+}
+
+impl Default for CoDelConfig {
+    fn default() -> Self {
+        CoDelConfig {
+            max_packets: 1000,
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// CoDel (Nichols & Jacobson): drop from the *head* when packets have been
+/// sojourning above `target` for at least `interval`, with drop spacing
+/// shrinking as `interval / sqrt(count)` while the condition persists.
+#[derive(Debug)]
+pub struct CoDel {
+    cfg: CoDelConfig,
+    buf: std::collections::VecDeque<(Packet, SimTime)>,
+    bytes: u64,
+    /// When the sojourn time first exceeded target (None = below target).
+    first_above: Option<SimTime>,
+    /// In the dropping state?
+    dropping: bool,
+    /// Next scheduled drop time while dropping.
+    drop_next: SimTime,
+    /// Drops in the current dropping episode.
+    count: u32,
+}
+
+impl CoDel {
+    /// Create a CoDel queue.
+    pub fn new(cfg: CoDelConfig) -> Self {
+        assert!(cfg.max_packets > 0);
+        CoDel {
+            cfg,
+            buf: Default::default(),
+            bytes: 0,
+            first_above: None,
+            dropping: false,
+            drop_next: SimTime::ZERO,
+            count: 0,
+        }
+    }
+
+    fn control_law(&self, t: SimTime) -> SimTime {
+        t + self.cfg.interval.mul_f64(1.0 / (self.count.max(1) as f64).sqrt())
+    }
+
+    fn pop(&mut self) -> Option<(Packet, SimTime)> {
+        let e = self.buf.pop_front()?;
+        self.bytes -= e.0.wire_size() as u64;
+        Some(e)
+    }
+
+    /// Should the head packet be dropped, per the sojourn-time state
+    /// machine? Updates `first_above`.
+    fn ok_to_drop(&mut self, enq: SimTime, now: SimTime) -> bool {
+        let sojourn = now.saturating_since(enq);
+        if sojourn < self.cfg.target || self.bytes <= 1500 {
+            self.first_above = None;
+            return false;
+        }
+        match self.first_above {
+            None => {
+                self.first_above = Some(now + self.cfg.interval);
+                false
+            }
+            Some(t) => now >= t,
+        }
+    }
+}
+
+impl Queue for CoDel {
+    fn enqueue(&mut self, now: SimTime, pkt: Packet, _rng: &mut dyn SimRng) -> EnqueueResult {
+        if self.buf.len() >= self.cfg.max_packets {
+            return EnqueueResult::Dropped(DropReason::TailDrop);
+        }
+        self.bytes += pkt.wire_size() as u64;
+        self.buf.push_back((pkt, now));
+        EnqueueResult::Queued
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Dequeued {
+        let mut dropped = Vec::new();
+        let Some((pkt, enq)) = self.pop() else {
+            self.dropping = false;
+            return Dequeued::default();
+        };
+        let mut head = Some((pkt, enq));
+
+        if self.dropping {
+            if !self.ok_to_drop(head.as_ref().unwrap().1, now) {
+                self.dropping = false;
+            } else {
+                while now >= self.drop_next && self.dropping {
+                    let (pkt, _) = head.take().unwrap();
+                    dropped.push(pkt);
+                    self.count += 1;
+                    match self.pop() {
+                        Some((p, e)) if self.ok_to_drop(e, now) => {
+                            head = Some((p, e));
+                            self.drop_next = self.control_law(self.drop_next);
+                        }
+                        Some((p, e)) => {
+                            head = Some((p, e));
+                            self.dropping = false;
+                        }
+                        None => {
+                            self.dropping = false;
+                        }
+                    }
+                }
+            }
+        } else if self.ok_to_drop(enq, now) {
+            // Enter the dropping state with one head drop.
+            let (pkt, _) = head.take().unwrap();
+            dropped.push(pkt);
+            self.dropping = true;
+            // RFC 8289: restart from a count related to the previous episode.
+            self.count = if self.count > 2 { self.count - 2 } else { 1 };
+            self.drop_next = self.control_law(now);
+            head = self.pop();
+        }
+
+        Dequeued { pkt: head.map(|(p, _)| p), dropped }
+    }
+
+    fn len_packets(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{NodeId, Protocol, Tag};
+    use bytes::Bytes;
+    use simbase::rng::Xoshiro256StarStar;
+
+    fn pkt(id: u64, data_len: u32) -> Packet {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            tag: Tag::NONE,
+            protocol: Protocol::Raw,
+            payload: Bytes::new(),
+            data_len,
+            flow_hash: id,
+            ecn: crate::packet::Ecn::NotEct,
+        }
+    }
+
+    #[test]
+    fn droptail_is_fifo() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = DropTail::packets(10);
+        for i in 0..5 {
+            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 100), &mut rng), EnqueueResult::Queued));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(SimTime::ZERO).pkt.map(|p| p.id)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn droptail_packet_bound_drops_excess() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = DropTail::packets(3);
+        for i in 0..3 {
+            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 0), &mut rng), EnqueueResult::Queued));
+        }
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(3, 0), &mut rng),
+            EnqueueResult::Dropped(DropReason::TailDrop)
+        ));
+        assert_eq!(q.len_packets(), 3);
+    }
+
+    #[test]
+    fn droptail_byte_bound_counts_wire_size() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        // Each pkt: 20 (IP) + 0 (hdr) + 100 data = 120 wire bytes.
+        let mut q = DropTail::bytes(300);
+        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(0, 100), &mut rng), EnqueueResult::Queued));
+        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(1, 100), &mut rng), EnqueueResult::Queued));
+        assert_eq!(q.len_bytes(), 240);
+        // Third packet would exceed 300 bytes.
+        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(2, 100), &mut rng), EnqueueResult::Dropped(_)));
+        // But a tiny packet still fits (20 bytes wire).
+        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(3, 0), &mut rng), EnqueueResult::Queued));
+        assert_eq!(q.len_bytes(), 260);
+    }
+
+    #[test]
+    fn droptail_byte_accounting_balances() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = DropTail::bytes(10_000);
+        for i in 0..10 {
+            let _ = q.enqueue(SimTime::ZERO, pkt(i, (i as u32) * 10), &mut rng);
+        }
+        while q.dequeue(SimTime::ZERO).pkt.is_some() {}
+        assert_eq!(q.len_bytes(), 0);
+        assert_eq!(q.len_packets(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn red_empty_queue_never_drops() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mut q = Red::new(RedConfig::default());
+        for i in 0..4 {
+            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng), EnqueueResult::Queued));
+            q.dequeue(SimTime::ZERO);
+        }
+        assert!(q.avg_queue() < 1.0);
+    }
+
+    #[test]
+    fn red_sustained_overload_drops_early() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let cfg = RedConfig {
+            weight: 0.5,
+            min_thresh: 2.0,
+            max_thresh: 8.0,
+            max_p: 0.5,
+            max_packets: 64,
+            ..Default::default()
+        };
+        let mut q = Red::new(cfg);
+        let mut early = 0;
+        for i in 0..200 {
+            match q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng) {
+                EnqueueResult::Dropped(DropReason::EarlyDrop) => early += 1,
+                EnqueueResult::Dropped(DropReason::TailDrop) => {}
+                EnqueueResult::Queued => {}
+            }
+        }
+        assert!(early > 0, "RED should drop early under sustained overload");
+    }
+
+    #[test]
+    fn queue_config_builds_right_impl() {
+        let q = QueueConfig::DropTailPackets(4).build();
+        assert_eq!(q.len_packets(), 0);
+        let q = QueueConfig::DropTailBytes(1000).build();
+        assert!(q.is_empty());
+        let q = QueueConfig::Red(RedConfig::default()).build();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds inverted")]
+    fn red_validates_thresholds() {
+        let _ = Red::new(RedConfig { min_thresh: 10.0, max_thresh: 5.0, ..Default::default() });
+    }
+
+    fn stamped(id: u64) -> Packet {
+        pkt(id, 1000)
+    }
+
+    #[test]
+    fn codel_passes_traffic_below_target() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = CoDel::new(CoDelConfig::default());
+        // Short sojourns: enqueue at t, dequeue 1 ms later (< 5 ms target).
+        for i in 0..50u64 {
+            let t = SimTime::from_millis(i * 2);
+            assert!(matches!(q.enqueue(t, stamped(i), &mut rng), EnqueueResult::Queued));
+            let d = q.dequeue(t + SimDuration::from_millis(1));
+            assert!(d.dropped.is_empty());
+            assert_eq!(d.pkt.unwrap().id, i);
+        }
+    }
+
+    #[test]
+    fn codel_head_drops_under_standing_queue() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = CoDel::new(CoDelConfig::default());
+        // Build a standing queue: 200 packets at t=0.
+        for i in 0..200u64 {
+            let _ = q.enqueue(SimTime::ZERO, stamped(i), &mut rng);
+        }
+        // Dequeue slowly: sojourn far above target for far longer than the
+        // interval -> CoDel must start dropping from the head.
+        let mut dropped = 0;
+        let mut delivered = 0;
+        for step in 0..200u64 {
+            let now = SimTime::from_millis(200 + step * 10);
+            let d = q.dequeue(now);
+            dropped += d.dropped.len();
+            if d.pkt.is_some() {
+                delivered += 1;
+            }
+            if q.is_empty() {
+                break;
+            }
+        }
+        assert!(dropped > 0, "CoDel must drop under persistent delay");
+        assert!(delivered > 0, "but it must not starve the link");
+        assert_eq!(dropped + delivered, 200);
+    }
+
+    #[test]
+    fn codel_recovers_after_queue_drains() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = CoDel::new(CoDelConfig::default());
+        for i in 0..100u64 {
+            let _ = q.enqueue(SimTime::ZERO, stamped(i), &mut rng);
+        }
+        let mut t = SimTime::from_millis(200);
+        while !q.is_empty() {
+            let _ = q.dequeue(t);
+            t = t + SimDuration::from_millis(5);
+        }
+        // Fresh, fast traffic afterwards is untouched.
+        for i in 0..20u64 {
+            let now = t + SimDuration::from_millis(i);
+            let _ = q.enqueue(now, stamped(1000 + i), &mut rng);
+            let d = q.dequeue(now);
+            assert!(d.dropped.is_empty(), "no drops after recovery");
+            assert!(d.pkt.is_some());
+        }
+    }
+
+    #[test]
+    fn codel_byte_accounting_balances() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = CoDel::new(CoDelConfig::default());
+        for i in 0..30u64 {
+            let _ = q.enqueue(SimTime::ZERO, stamped(i), &mut rng);
+        }
+        let mut seen = 0;
+        while q.len_packets() > 0 {
+            let d = q.dequeue(SimTime::from_secs(1));
+            seen += d.dropped.len() + d.pkt.is_some() as usize;
+        }
+        assert_eq!(seen, 30);
+        assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn red_marks_instead_of_dropping_ect_packets() {
+        use crate::packet::Ecn;
+        let mut rng = Xoshiro256StarStar::new(5);
+        let cfg = RedConfig {
+            weight: 0.5,
+            min_thresh: 2.0,
+            max_thresh: 8.0,
+            max_p: 0.5,
+            max_packets: 64,
+            ecn_marking: true,
+        };
+        let mut q = Red::new(cfg);
+        let mut dropped = 0;
+        // Build sustained pressure: enqueue 40 ECT packets back to back.
+        for i in 0..40 {
+            let mut p = pkt(i, 1000);
+            p.ecn = Ecn::Ect;
+            if let EnqueueResult::Dropped(DropReason::EarlyDrop) = q.enqueue(SimTime::ZERO, p, &mut rng) {
+                dropped += 1;
+            }
+        }
+        let mut marked = 0;
+        while let Some(out) = q.dequeue(SimTime::ZERO).pkt {
+            if out.ecn == Ecn::Ce {
+                marked += 1;
+            }
+        }
+        assert!(marked > 0, "ECT packets must be CE-marked under pressure");
+        assert_eq!(dropped, 0, "marking replaces early drops for ECT traffic");
+    }
+}

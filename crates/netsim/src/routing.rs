@@ -1,0 +1,255 @@
+//! Forwarding tables and route installation.
+//!
+//! Each node owns a [`Fib`] consulted per packet, in priority order:
+//!
+//! 1. **Exact tag route** `(destination, tag) → link` — the paper's tagging
+//!    mechanism: deterministic, per-tag forwarding.
+//! 2. **Default route** `destination → link` — shortest path, used by
+//!    untagged traffic and as a fallback.
+//! 3. **ECMP group** `destination → {links}` — hash of the packet's flow key
+//!    selects among equal-cost next hops (the alternative tagging substrate
+//!    mentioned in the paper, where tags are realized through ECMP hashing).
+//!
+//! [`install_path`] writes tag routes for a path in both directions so that
+//! ACKs of a tagged subflow retrace the same path — matching the Mininet
+//! setup where each subflow's five-tuple is pinned to one route.
+
+use crate::packet::{LinkId, NodeId, Packet, Tag};
+use crate::paths::{shortest_path, Path};
+use crate::topology::Topology;
+use std::collections::HashMap;
+
+/// Per-node forwarding information base.
+#[derive(Debug, Clone, Default)]
+pub struct Fib {
+    exact: HashMap<(NodeId, Tag), LinkId>,
+    default_route: HashMap<NodeId, LinkId>,
+    ecmp: HashMap<NodeId, Vec<LinkId>>,
+}
+
+impl Fib {
+    /// Empty FIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an exact `(dst, tag)` route. Later installs overwrite.
+    pub fn set_tag_route(&mut self, dst: NodeId, tag: Tag, out: LinkId) {
+        self.exact.insert((dst, tag), out);
+    }
+
+    /// Install the default route towards `dst`.
+    pub fn set_default_route(&mut self, dst: NodeId, out: LinkId) {
+        self.default_route.insert(dst, out);
+    }
+
+    /// Install an ECMP group towards `dst` (replaces any previous group).
+    pub fn set_ecmp_group(&mut self, dst: NodeId, outs: Vec<LinkId>) {
+        assert!(!outs.is_empty(), "empty ECMP group");
+        self.ecmp.insert(dst, outs);
+    }
+
+    /// Route a packet: exact tag route, then default, then ECMP hash.
+    pub fn route(&self, pkt: &Packet) -> Option<LinkId> {
+        if pkt.tag.is_tagged() {
+            if let Some(&l) = self.exact.get(&(pkt.dst, pkt.tag)) {
+                return Some(l);
+            }
+        }
+        if let Some(group) = self.ecmp.get(&pkt.dst) {
+            // Deterministic flow hash -> group member. Fibonacci hashing
+            // spreads consecutive flow keys across members.
+            let h = pkt.flow_hash.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let idx = (h >> 32) as usize % group.len();
+            return Some(group[idx]);
+        }
+        self.default_route.get(&pkt.dst).copied()
+    }
+
+    /// Number of exact tag routes (diagnostics).
+    pub fn tag_route_count(&self) -> usize {
+        self.exact.len()
+    }
+}
+
+/// The set of FIBs for a topology, indexed by node.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTables {
+    fibs: Vec<Fib>,
+}
+
+impl RoutingTables {
+    /// One empty FIB per node.
+    pub fn new(topo: &Topology) -> Self {
+        RoutingTables { fibs: vec![Fib::new(); topo.node_count()] }
+    }
+
+    /// The FIB of `node`.
+    pub fn fib(&self, node: NodeId) -> &Fib {
+        &self.fibs[node.0 as usize]
+    }
+
+    /// Mutable FIB of `node`.
+    pub fn fib_mut(&mut self, node: NodeId) -> &mut Fib {
+        &mut self.fibs[node.0 as usize]
+    }
+
+    /// Install tag routes for `path` under `tag`, forward **and** reverse,
+    /// so data and ACKs of the tagged subflow use the same physical route.
+    pub fn install_path(&mut self, path: &Path, tag: Tag) {
+        assert!(tag.is_tagged(), "cannot install a path under Tag::NONE");
+        let dst = path.dst();
+        let src = path.src();
+        let nodes = path.nodes();
+        let links = path.links();
+        for i in 0..links.len() {
+            // Forward direction: at nodes[i], towards dst via links[i].
+            self.fib_mut(nodes[i]).set_tag_route(dst, tag, links[i]);
+            // Reverse direction: at nodes[i+1], towards src via links[i].
+            self.fib_mut(nodes[i + 1]).set_tag_route(src, tag, links[i]);
+        }
+    }
+
+    /// Compute shortest paths (by delay) from every node to `dst` and
+    /// install them as default routes. O(nodes * Dijkstra); fine for the
+    /// evaluation-scale topologies.
+    pub fn install_default_routes_to(&mut self, topo: &Topology, dst: NodeId) {
+        for n in topo.node_ids() {
+            if n == dst {
+                continue;
+            }
+            if let Some(p) = shortest_path(topo, n, dst) {
+                self.fib_mut(n).set_default_route(dst, p.links()[0]);
+            }
+        }
+    }
+
+    /// Install default routes between all node pairs.
+    pub fn install_all_default_routes(&mut self, topo: &Topology) {
+        for dst in topo.node_ids() {
+            self.install_default_routes_to(topo, dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+    use crate::queue::QueueConfig;
+    use bytes::Bytes;
+    use simbase::{Bandwidth, SimDuration};
+
+    fn pkt(dst: NodeId, tag: Tag, flow_hash: u64) -> Packet {
+        Packet {
+            id: 0,
+            src: NodeId(0),
+            dst,
+            tag,
+            protocol: Protocol::Raw,
+            payload: Bytes::new(),
+            data_len: 0,
+            flow_hash,
+            ecn: crate::packet::Ecn::NotEct,
+        }
+    }
+
+    fn diamond() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let s = t.add_node("s");
+        let u = t.add_node("u");
+        let v = t.add_node("v");
+        let d = t.add_node("d");
+        let bw = Bandwidth::from_mbps(10);
+        let ms = SimDuration::from_millis;
+        t.add_link(s, u, bw, ms(1), QueueConfig::default());
+        t.add_link(u, d, bw, ms(1), QueueConfig::default());
+        t.add_link(s, v, bw, ms(5), QueueConfig::default());
+        t.add_link(v, d, bw, ms(5), QueueConfig::default());
+        (t, s, u, v, d)
+    }
+
+    #[test]
+    fn tag_route_beats_default() {
+        let (t, s, _u, v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        rt.install_all_default_routes(&t);
+        let via_v = Path::from_nodes(&t, &[s, v, d]).unwrap();
+        rt.install_path(&via_v, Tag(7));
+
+        // Untagged: default (shortest) route via u -> link 0.
+        assert_eq!(rt.fib(s).route(&pkt(d, Tag::NONE, 1)), Some(LinkId(0)));
+        // Tagged: pinned route via v -> link 2.
+        assert_eq!(rt.fib(s).route(&pkt(d, Tag(7), 1)), Some(LinkId(2)));
+        // Unknown tag falls back to default.
+        assert_eq!(rt.fib(s).route(&pkt(d, Tag(9), 1)), Some(LinkId(0)));
+    }
+
+    #[test]
+    fn install_path_covers_reverse_direction() {
+        let (t, s, _u, v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        let via_v = Path::from_nodes(&t, &[s, v, d]).unwrap();
+        rt.install_path(&via_v, Tag(7));
+        // ACK from d back to s with the same tag goes via v (link 3 then 2).
+        assert_eq!(rt.fib(d).route(&pkt(s, Tag(7), 1)), Some(LinkId(3)));
+        assert_eq!(rt.fib(v).route(&pkt(s, Tag(7), 1)), Some(LinkId(2)));
+    }
+
+    #[test]
+    fn default_routes_reach_everywhere() {
+        let (t, s, u, v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        rt.install_all_default_routes(&t);
+        for from in [s, u, v] {
+            assert!(rt.fib(from).route(&pkt(d, Tag::NONE, 0)).is_some(), "{from:?} -> d missing");
+        }
+        assert!(rt.fib(d).route(&pkt(s, Tag::NONE, 0)).is_some());
+    }
+
+    #[test]
+    fn no_route_returns_none() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, Bandwidth::from_mbps(1), SimDuration::ZERO, QueueConfig::default());
+        let rt = RoutingTables::new(&t);
+        assert_eq!(rt.fib(a).route(&pkt(b, Tag::NONE, 0)), None);
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow_and_spreads() {
+        let (t, s, _u, _v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        rt.fib_mut(s).set_ecmp_group(d, vec![LinkId(0), LinkId(2)]);
+        let mut counts = [0usize; 2];
+        for flow in 0..100 {
+            let l1 = rt.fib(s).route(&pkt(d, Tag::NONE, flow)).unwrap();
+            let l2 = rt.fib(s).route(&pkt(d, Tag::NONE, flow)).unwrap();
+            assert_eq!(l1, l2, "same flow must hash to same member");
+            counts[if l1 == LinkId(0) { 0 } else { 1 }] += 1;
+        }
+        assert!(counts[0] > 20 && counts[1] > 20, "hash should spread: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Tag::NONE")]
+    fn installing_untagged_path_panics() {
+        let (t, s, u, _v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        let p = Path::from_nodes(&t, &[s, u, d]).unwrap();
+        rt.install_path(&p, Tag::NONE);
+    }
+
+    #[test]
+    fn tag_route_count_tracks() {
+        let (t, s, _u, v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        let p = Path::from_nodes(&t, &[s, v, d]).unwrap();
+        rt.install_path(&p, Tag(1));
+        // 2 hops -> 2 forward entries at s and v, 2 reverse at d and v.
+        assert_eq!(rt.fib(s).tag_route_count(), 1);
+        assert_eq!(rt.fib(v).tag_route_count(), 2);
+        assert_eq!(rt.fib(d).tag_route_count(), 1);
+    }
+}

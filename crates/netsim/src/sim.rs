@@ -1,0 +1,507 @@
+//! The discrete-event simulator.
+//!
+//! [`Simulator`] owns the topology, routing tables, per-link runtime state
+//! (transmitter + queue per direction), registered agents, statistics, and
+//! the event queue. One event loop iteration pops the earliest event and:
+//!
+//! * `Arrive` — a packet finished its propagation delay; deliver it to the
+//!   local agent (if it is the destination) or forward it.
+//! * `TxDone` — a transmitter finished serializing a packet; start the
+//!   propagation leg and pull the next packet from the queue.
+//! * `Timer` / `StartAgent` — dispatch to the owning agent.
+//!
+//! The link model is store-and-forward with full-duplex directions: each
+//! direction has an independent transmitter and drop-tail/RED queue.
+//! Serialization time is `wire_size / capacity` (exact integer arithmetic),
+//! after which the packet spends the link's propagation delay in flight.
+
+use crate::agent::{Agent, AgentId, Ctx, Effect};
+use crate::capture::{CaptureConfig, CaptureKind, CaptureRecord};
+use crate::packet::{Dir, LinkId, NodeId, Packet};
+use crate::queue::{EnqueueResult, Queue};
+use crate::routing::RoutingTables;
+use crate::stats::{LinkDirStats, SimStats};
+use crate::topology::Topology;
+use simbase::{EventLog, EventQueue, LogLevel, SimDuration, SimRng, SimTime, Xoshiro256StarStar};
+
+/// Simulator events.
+#[derive(Debug)]
+enum Event {
+    /// Fire an agent's start hook.
+    StartAgent(AgentId),
+    /// Deliver a one-shot timer to an agent.
+    Timer { agent: AgentId, token: u64 },
+    /// A transmitter finished serializing its current packet.
+    TxDone { link: LinkId, dir: Dir },
+    /// A packet finished propagating and arrives at the far end.
+    Arrive { link: LinkId, dir: Dir, pkt: Packet },
+    /// Administratively take a link down (both directions).
+    LinkDown(LinkId),
+    /// Bring a link back up.
+    LinkUp(LinkId),
+}
+
+/// Runtime state for one direction of a link.
+struct DirState {
+    /// The packet currently being serialized, if any.
+    transmitting: Option<Packet>,
+    /// Output queue behind the transmitter.
+    queue: Box<dyn Queue>,
+}
+
+impl DirState {
+    fn is_busy(&self) -> bool {
+        self.transmitting.is_some()
+    }
+}
+
+/// Runtime state for one duplex link: `dirs[Dir::index()]`.
+struct LinkRuntime {
+    dirs: [DirState; 2],
+    /// Administrative state; packets offered to a down link are dropped.
+    up: bool,
+}
+
+/// The packet-level network simulator.
+pub struct Simulator {
+    topo: Topology,
+    routing: RoutingTables,
+    links: Vec<LinkRuntime>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_node: Vec<NodeId>,
+    node_agent: Vec<Option<AgentId>>,
+    events: EventQueue<Event>,
+    now: SimTime,
+    rng: Xoshiro256StarStar,
+    /// Simulation-wide event log (agents write through `Ctx`).
+    pub log: EventLog,
+    capture_cfg: CaptureConfig,
+    captures: Vec<CaptureRecord>,
+    stats: SimStats,
+    link_stats: Vec<[LinkDirStats; 2]>,
+    next_packet_id: u64,
+    /// Packets currently inside the network (queued, serializing, flying).
+    in_flight: u64,
+    /// Maximum uniform per-hop forwarding jitter added to each packet's
+    /// propagation leg (models kernel/switch processing noise; zero by
+    /// default so timing tests stay exact).
+    forward_jitter: SimDuration,
+}
+
+impl Simulator {
+    /// Build a simulator over a topology with a deterministic seed.
+    pub fn new(topo: Topology, routing: RoutingTables, seed: u64) -> Self {
+        let links = topo
+            .link_ids()
+            .map(|l| {
+                let spec = topo.link(l);
+                LinkRuntime {
+                    dirs: [
+                        DirState { transmitting: None, queue: spec.queue.build() },
+                        DirState { transmitting: None, queue: spec.queue.build() },
+                    ],
+                    up: true,
+                }
+            })
+            .collect();
+        let link_stats = topo.link_ids().map(|_| [LinkDirStats::default(); 2]).collect();
+        let node_agent = vec![None; topo.node_count()];
+        Simulator {
+            topo,
+            routing,
+            links,
+            agents: Vec::new(),
+            agent_node: Vec::new(),
+            node_agent,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: Xoshiro256StarStar::new(seed),
+            log: EventLog::new(LogLevel::Warn),
+            capture_cfg: CaptureConfig::off(),
+            captures: Vec::new(),
+            stats: SimStats::default(),
+            link_stats: Vec::new(),
+            next_packet_id: 0,
+            in_flight: 0,
+            forward_jitter: SimDuration::ZERO,
+        }
+        .with_link_stats(link_stats)
+    }
+
+    fn with_link_stats(mut self, ls: Vec<[LinkDirStats; 2]>) -> Self {
+        self.link_stats = ls;
+        self
+    }
+
+    /// Set the capture configuration (before or during a run).
+    pub fn set_capture(&mut self, cfg: CaptureConfig) {
+        self.capture_cfg = cfg;
+    }
+
+    /// Add up to `jitter` of uniform random delay to every packet's
+    /// propagation leg. Models the OS-scheduling noise of a software
+    /// testbed (the paper's Mininet); breaks drop-phase synchronisation
+    /// between flows and makes distinct seeds produce distinct runs.
+    pub fn set_forward_jitter(&mut self, jitter: SimDuration) {
+        self.forward_jitter = jitter;
+    }
+
+    /// Set the log verbosity.
+    pub fn set_log_level(&mut self, level: LogLevel) {
+        self.log = EventLog::new(level);
+    }
+
+    /// Attach an agent to `node`, starting at `start`. One agent per node.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>, start: SimTime) -> AgentId {
+        assert!((node.0 as usize) < self.topo.node_count(), "unknown node");
+        assert!(self.node_agent[node.0 as usize].is_none(), "node {node:?} already has an agent");
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push(Some(agent));
+        self.agent_node.push(node);
+        self.node_agent[node.0 as usize] = Some(id);
+        self.events.push(start, Event::StartAgent(id));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Routing tables (immutable during the run).
+    pub fn routing(&self) -> &RoutingTables {
+        &self.routing
+    }
+
+    /// Simulation-wide counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Counters for one direction of a link.
+    pub fn link_stats(&self, link: LinkId, dir: Dir) -> &LinkDirStats {
+        &self.link_stats[link.0 as usize][dir.index()]
+    }
+
+    /// Capture records collected so far.
+    pub fn captures(&self) -> &[CaptureRecord] {
+        &self.captures
+    }
+
+    /// Take ownership of the capture records (clears the buffer).
+    pub fn take_captures(&mut self) -> Vec<CaptureRecord> {
+        std::mem::take(&mut self.captures)
+    }
+
+    /// Packets currently inside the network.
+    pub fn packets_in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Borrow an agent back out of the simulator (after a run) to inspect
+    /// endpoint state. Panics if the id is stale.
+    pub fn agent(&self, id: AgentId) -> &dyn Agent {
+        self.agents[id.0 as usize].as_deref().expect("agent is being dispatched")
+    }
+
+    /// Schedule an administrative link failure (both directions). Packets
+    /// queued or in serialization are lost; packets already propagating
+    /// deliver (they have left the interface).
+    pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
+        assert!((link.0 as usize) < self.links.len(), "unknown link");
+        self.events.push(at, Event::LinkDown(link));
+    }
+
+    /// Schedule a link recovery.
+    pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        assert!((link.0 as usize) < self.links.len(), "unknown link");
+        self.events.push(at, Event::LinkUp(link));
+    }
+
+    /// Is the link administratively up?
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].up
+    }
+
+    /// Run until the event queue is exhausted or `deadline` is reached.
+    /// Events exactly at the deadline are processed; the clock never
+    /// advances past it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run until no events remain (terminating workloads only).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Process a single event. Returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.event {
+            Event::StartAgent(id) => self.dispatch(id, AgentCall::Start),
+            Event::Timer { agent, token } => {
+                self.stats.timers_fired += 1;
+                self.dispatch(agent, AgentCall::Timer(token));
+            }
+            Event::TxDone { link, dir } => self.on_tx_done(link, dir),
+            Event::Arrive { link, dir, pkt } => {
+                let spec = self.topo.link(link);
+                let node = match dir {
+                    Dir::AtoB => spec.b,
+                    Dir::BtoA => spec.a,
+                };
+                self.handle_packet_at(node, pkt);
+            }
+            Event::LinkDown(link) => self.on_link_down(link),
+            Event::LinkUp(link) => {
+                self.links[link.0 as usize].up = true;
+                self.log.log(self.now, LogLevel::Info, "sim", format!("{link:?} up"));
+            }
+        }
+        true
+    }
+
+    fn on_link_down(&mut self, link: LinkId) {
+        self.log.log(self.now, LogLevel::Info, "sim", format!("{link:?} down"));
+        let rt = &mut self.links[link.0 as usize];
+        rt.up = false;
+        for dir in [Dir::AtoB, Dir::BtoA] {
+            let state = &mut rt.dirs[dir.index()];
+            // The packet being serialized is lost on the wire.
+            if let Some(pkt) = state.transmitting.take() {
+                self.stats.packets_dropped += 1;
+                self.in_flight -= 1;
+                self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+            }
+            // Buffered packets are lost with the interface.
+            loop {
+                let deq = state.queue.dequeue(self.now);
+                let mut lost = deq.dropped;
+                if let Some(p) = deq.pkt {
+                    lost.push(p);
+                }
+                if lost.is_empty() {
+                    break;
+                }
+                for pkt in lost {
+                    self.stats.packets_dropped += 1;
+                    self.in_flight -= 1;
+                    self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+                }
+            }
+        }
+        // A stale TxDone for the dropped transmission may still fire; it is
+        // ignored because `transmitting` is now empty (see on_tx_done).
+    }
+
+    // ---- internals ----
+
+    fn dispatch(&mut self, id: AgentId, call: AgentCall) {
+        let mut agent = self.agents[id.0 as usize].take().expect("re-entrant agent dispatch");
+        let node = self.agent_node[id.0 as usize];
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Ctx::new(
+                self.now,
+                node,
+                id,
+                &mut self.rng,
+                &mut self.log,
+                &mut effects,
+                &mut self.next_packet_id,
+            );
+            match call {
+                AgentCall::Start => agent.on_start(&mut ctx),
+                AgentCall::Timer(token) => agent.on_timer(&mut ctx, token),
+                AgentCall::Packet(pkt) => agent.on_packet(&mut ctx, pkt),
+            }
+        }
+        self.agents[id.0 as usize] = Some(agent);
+        self.apply_effects(node, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for eff in effects {
+            match eff {
+                Effect::Send(pkt) => {
+                    self.stats.packets_sent += 1;
+                    self.in_flight += 1;
+                    self.record(node, CaptureKind::Sent, None, &pkt);
+                    self.handle_packet_at(node, pkt);
+                }
+                Effect::SetTimer { at, token } => {
+                    let agent = self.node_agent[node.0 as usize].expect("timer from unknown agent");
+                    self.events.push(at, Event::Timer { agent, token });
+                }
+            }
+        }
+    }
+
+    /// A packet is present at `node`: deliver or forward.
+    fn handle_packet_at(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst == node {
+            if let Some(agent) = self.node_agent[node.0 as usize] {
+                self.stats.packets_delivered += 1;
+                self.in_flight -= 1;
+                self.record(node, CaptureKind::Delivered, None, &pkt);
+                self.dispatch(agent, AgentCall::Packet(pkt));
+            } else {
+                // Destination host has no stack; treat as unroutable.
+                self.stats.packets_unroutable += 1;
+                self.in_flight -= 1;
+                self.record(node, CaptureKind::Unroutable, None, &pkt);
+            }
+            return;
+        }
+        match self.routing.fib(node).route(&pkt) {
+            Some(out_link) => {
+                self.record(node, CaptureKind::Forwarded, Some(out_link), &pkt);
+                self.transmit_or_enqueue(node, out_link, pkt);
+            }
+            None => {
+                self.stats.packets_unroutable += 1;
+                self.in_flight -= 1;
+                self.log.log(
+                    self.now,
+                    LogLevel::Warn,
+                    "sim",
+                    format!("no route for {pkt:?} at {node:?}"),
+                );
+                self.record(node, CaptureKind::Unroutable, None, &pkt);
+            }
+        }
+    }
+
+    /// Offer `pkt` to `link`'s transmitter in the direction leaving `from`.
+    fn transmit_or_enqueue(&mut self, from: NodeId, link: LinkId, pkt: Packet) {
+        let spec = self.topo.link(link);
+        let dir = if from == spec.a { Dir::AtoB } else { Dir::BtoA };
+        debug_assert!(spec.touches(from), "forwarding onto a detached link");
+        let capacity = spec.capacity;
+        if !self.links[link.0 as usize].up {
+            // Interface down: the packet is lost at this hop.
+            self.stats.packets_dropped += 1;
+            self.in_flight -= 1;
+            self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+            if self.capture_cfg.wants(from, CaptureKind::Dropped) {
+                self.captures.push(CaptureRecord {
+                    time: self.now,
+                    node: from,
+                    kind: CaptureKind::Dropped,
+                    link: Some(link),
+                    pkt: pkt.meta(),
+                });
+            }
+            return;
+        }
+        let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+
+        if !state.is_busy() {
+            let tx_time = capacity.tx_time(pkt.wire_size() as u64);
+            state.transmitting = Some(pkt);
+            self.events.push(self.now + tx_time, Event::TxDone { link, dir });
+        } else {
+            let meta = pkt.meta();
+            match state.queue.enqueue(self.now, pkt, &mut self.rng) {
+                EnqueueResult::Queued => {
+                    let (p, b) = (state.queue.len_packets(), state.queue.len_bytes());
+                    self.link_stats[link.0 as usize][dir.index()].observe_queue(p, b);
+                }
+                EnqueueResult::Dropped(reason) => {
+                    self.stats.packets_dropped += 1;
+                    self.in_flight -= 1;
+                    self.link_stats[link.0 as usize][dir.index()].on_drop(meta.wire_size);
+                    self.log.log(
+                        self.now,
+                        LogLevel::Debug,
+                        "sim",
+                        format!("drop({reason:?}) pkt#{} on {link:?}/{dir:?} at {from:?}", meta.id),
+                    );
+                    if self.capture_cfg.wants(from, CaptureKind::Dropped) {
+                        self.captures.push(CaptureRecord {
+                            time: self.now,
+                            node: from,
+                            kind: CaptureKind::Dropped,
+                            link: Some(link),
+                            pkt: meta,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, link: LinkId, dir: Dir) {
+        let spec = self.topo.link(link);
+        let delay = spec.delay;
+        let capacity = spec.capacity;
+        let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+        // A link-down event may have cleared the transmitter under a
+        // pending TxDone; the serialization was aborted.
+        let Some(pkt) = state.transmitting.take() else {
+            return;
+        };
+        let tx_time = capacity.tx_time(pkt.wire_size() as u64);
+        self.link_stats[link.0 as usize][dir.index()].on_tx(pkt.wire_size(), tx_time);
+        // Wireless-style random corruption loss (after serialization).
+        let corrupted = spec.loss_rate > 0.0 && self.rng.chance(spec.loss_rate);
+        if corrupted {
+            self.stats.packets_dropped += 1;
+            self.in_flight -= 1;
+            self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+        }
+        let jitter = if self.forward_jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.rng.next_below(self.forward_jitter.as_nanos() + 1))
+        };
+        if !corrupted {
+            self.events.push(self.now + delay + jitter, Event::Arrive { link, dir, pkt });
+        }
+
+        // Start the next packet, if any (the AQM may head-drop on the way).
+        let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+        let deq = state.queue.dequeue(self.now);
+        for dropped in deq.dropped {
+            self.stats.packets_dropped += 1;
+            self.in_flight -= 1;
+            self.link_stats[link.0 as usize][dir.index()].on_drop(dropped.wire_size());
+        }
+        if let Some(next) = deq.pkt {
+            let tx_time = capacity.tx_time(next.wire_size() as u64);
+            let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+            state.transmitting = Some(next);
+            self.events.push(self.now + tx_time, Event::TxDone { link, dir });
+        }
+    }
+
+    fn record(&mut self, node: NodeId, kind: CaptureKind, link: Option<LinkId>, pkt: &Packet) {
+        if self.capture_cfg.wants(node, kind) {
+            self.captures.push(CaptureRecord { time: self.now, node, kind, link, pkt: pkt.meta() });
+        }
+    }
+}
+
+/// Internal dispatch selector.
+enum AgentCall {
+    Start,
+    Timer(u64),
+    Packet(Packet),
+}

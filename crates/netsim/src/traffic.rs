@@ -1,0 +1,297 @@
+//! Background traffic generators (plain datagram agents).
+//!
+//! Real networks are never idle: the paper's testbed competes with kernel
+//! chatter, and any deployment of tagged multipath routing competes with
+//! cross traffic. These agents inject open-loop load so experiments can ask
+//! "does the congestion controller still find the optimum when the
+//! bottlenecks are partially occupied?".
+
+use crate::agent::{Agent, Ctx};
+use crate::packet::{NodeId, Packet, Protocol, Tag};
+use bytes::Bytes;
+use simbase::{Bandwidth, SimDuration, SimRng};
+
+/// Constant-bit-rate datagram source: one `packet_bytes` packet every
+/// `interval`, forever (or until the simulator's deadline).
+pub struct CbrSource {
+    dst: NodeId,
+    tag: Tag,
+    packet_bytes: u32,
+    interval: SimDuration,
+    flow_hash: u64,
+    sent: u64,
+}
+
+impl CbrSource {
+    /// A CBR source approximating `rate` with `packet_bytes`-sized packets.
+    pub fn new(dst: NodeId, tag: Tag, rate: Bandwidth, packet_bytes: u32) -> Self {
+        assert!(packet_bytes > 0);
+        let wire = packet_bytes as u64 + crate::packet::IP_HEADER_BYTES as u64;
+        let interval = rate.tx_time(wire); // time to "earn" one packet at `rate`
+        CbrSource {
+            dst,
+            tag,
+            packet_bytes,
+            interval,
+            flow_hash: 0xC0FFEE,
+            sent: 0,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(self.dst, self.tag, Protocol::Raw, Bytes::new(), self.packet_bytes, self.flow_hash);
+        self.sent += 1;
+        ctx.set_timer_after(self.interval, 0);
+    }
+}
+
+impl Agent for CbrSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.emit(ctx);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.emit(ctx);
+    }
+    fn name(&self) -> String {
+        "traffic.cbr".to_string()
+    }
+}
+
+/// Exponential on/off datagram source: bursts at `peak_rate` for
+/// exponentially distributed on-periods, silent for exponentially
+/// distributed off-periods — the classic bursty cross-traffic model.
+pub struct OnOffSource {
+    dst: NodeId,
+    tag: Tag,
+    packet_bytes: u32,
+    interval: SimDuration,
+    mean_on: SimDuration,
+    mean_off: SimDuration,
+    /// Currently in an on-period?
+    on: bool,
+    /// When the current period ends.
+    period_ends: simbase::SimTime,
+    sent: u64,
+}
+
+/// Timer tokens.
+const TOKEN_SEND: u64 = 0;
+const TOKEN_PERIOD: u64 = 1;
+
+impl OnOffSource {
+    /// Create a source bursting at `peak_rate` with the given mean on/off
+    /// durations.
+    pub fn new(
+        dst: NodeId,
+        tag: Tag,
+        peak_rate: Bandwidth,
+        packet_bytes: u32,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+    ) -> Self {
+        assert!(packet_bytes > 0);
+        let wire = packet_bytes as u64 + crate::packet::IP_HEADER_BYTES as u64;
+        OnOffSource {
+            dst,
+            tag,
+            packet_bytes,
+            interval: peak_rate.tx_time(wire),
+            mean_on,
+            mean_off,
+            on: false,
+            period_ends: simbase::SimTime::ZERO,
+            sent: 0,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn schedule_period(&mut self, ctx: &mut Ctx<'_>) {
+        let mean = if self.on { self.mean_on } else { self.mean_off };
+        let dur = SimDuration::from_nanos(
+            (ctx.rng.next_exponential(mean.as_nanos() as f64)).max(1.0) as u64,
+        );
+        self.period_ends = ctx.now() + dur;
+        ctx.set_timer_at(self.period_ends, TOKEN_PERIOD);
+        if self.on {
+            ctx.set_timer_after(SimDuration::ZERO.max(self.interval), TOKEN_SEND);
+        }
+    }
+}
+
+impl Agent for OnOffSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.on = true;
+        self.schedule_period(ctx);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_PERIOD => {
+                self.on = !self.on;
+                self.schedule_period(ctx);
+            }
+            TOKEN_SEND => {
+                if self.on && ctx.now() < self.period_ends {
+                    ctx.send(
+                        self.dst,
+                        self.tag,
+                        Protocol::Raw,
+                        Bytes::new(),
+                        self.packet_bytes,
+                        0xB0B0,
+                    );
+                    self.sent += 1;
+                    ctx.set_timer_after(self.interval, TOKEN_SEND);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn name(&self) -> String {
+        "traffic.onoff".to_string()
+    }
+}
+
+/// A sink that counts datagrams (attach at the destination host).
+#[derive(Default)]
+pub struct DatagramSink {
+    /// Packets received.
+    pub received: u64,
+    /// Wire bytes received.
+    pub bytes: u64,
+}
+
+impl Agent for DatagramSink {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+        self.received += 1;
+        self.bytes += pkt.wire_size() as u64;
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn name(&self) -> String {
+        "traffic.sink".to_string()
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueueConfig, RoutingTables, Simulator, Topology};
+    use simbase::SimTime;
+
+    fn net(cap_mbps: u64) -> (Topology, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(cap_mbps),
+            SimDuration::from_millis(1),
+            QueueConfig::DropTailPackets(64),
+        );
+        (t, a, b)
+    }
+
+    #[test]
+    fn cbr_hits_its_configured_rate() {
+        let (topo, a, b) = net(100);
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 1);
+        sim.add_agent(a, Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)), SimTime::ZERO);
+        let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let mbps = sink.bytes as f64 * 8.0 / 2.0 / 1e6;
+        assert!((mbps - 10.0).abs() < 0.5, "CBR rate {mbps:.2}");
+        assert_eq!(sim.stats().packets_dropped, 0);
+    }
+
+    #[test]
+    fn cbr_overload_saturates_and_drops() {
+        let (topo, a, b) = net(5);
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 1);
+        sim.add_agent(a, Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)), SimTime::ZERO);
+        let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(2));
+        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let mbps = sink.bytes as f64 * 8.0 / 2.0 / 1e6;
+        assert!(mbps <= 5.05 && mbps > 4.5, "capped at capacity: {mbps:.2}");
+        assert!(sim.stats().packets_dropped > 0);
+    }
+
+    #[test]
+    fn onoff_duty_cycle_scales_the_mean_rate() {
+        let (topo, a, b) = net(100);
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 42);
+        // 20 Mbps peak, 50% duty cycle -> ~10 Mbps mean.
+        sim.add_agent(
+            a,
+            Box::new(OnOffSource::new(
+                b,
+                Tag::NONE,
+                Bandwidth::from_mbps(20),
+                1000,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(50),
+            )),
+            SimTime::ZERO,
+        );
+        let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(10));
+        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let mbps = sink.bytes as f64 * 8.0 / 10.0 / 1e6;
+        assert!(mbps > 5.0 && mbps < 15.0, "duty-cycled rate {mbps:.2}");
+    }
+
+    #[test]
+    fn onoff_is_bursty_not_smooth() {
+        let (topo, a, b) = net(100);
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 7);
+        sim.set_capture(crate::CaptureConfig::receiver_side(b));
+        sim.add_agent(
+            a,
+            Box::new(OnOffSource::new(
+                b,
+                Tag::NONE,
+                Bandwidth::from_mbps(50),
+                1000,
+                SimDuration::from_millis(20),
+                SimDuration::from_millis(80),
+            )),
+            SimTime::ZERO,
+        );
+        sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
+        sim.run_until(SimTime::from_secs(5));
+        // Bin arrivals at 10 ms; a bursty source must show empty AND busy bins.
+        let mut bins = vec![0u32; 500];
+        for c in sim.captures() {
+            if c.kind == crate::CaptureKind::Delivered {
+                bins[(c.time.as_nanos() / 10_000_000) as usize % 500] += 1;
+            }
+        }
+        let empty = bins.iter().filter(|&&b| b == 0).count();
+        let busy = bins.iter().filter(|&&b| b > 20).count();
+        assert!(empty > 50, "expected silent bins, got {empty}");
+        assert!(busy > 10, "expected burst bins, got {busy}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # simtrace — measurement and analysis for simulator output
+//!
+//! The measurement half of the paper's methodology (tshark at the receiver,
+//! filtered by tag, binned at 10/100 ms):
+//!
+//! * [`sampler`] — capture records → per-tag throughput [`TimeSeries`].
+//! * [`series`] — windowed means, smoothing, summation, CoV.
+//! * [`summary`] — convergence-to-optimum detection, stability (CoV),
+//!   Jain fairness.
+//! * [`export`] — CSV output and terminal ASCII charts (the Figure-2
+//!   reproductions render directly in the console).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod sampler;
+pub mod series;
+pub mod summary;
+
+pub use export::{ascii_chart, to_csv, ChartOptions};
+pub use sampler::{SamplerConfig, ThroughputSampler};
+pub use series::TimeSeries;
+pub use summary::{jain_fairness, ConvergenceReport};

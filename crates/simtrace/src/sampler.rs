@@ -1,0 +1,204 @@
+//! Turning capture records into throughput time series — the simulated
+//! tshark post-processing step.
+//!
+//! The paper: *"we filtered the captured packets based on the tags, to
+//! determine how did the MPTCP protocol split them among the subflows"*,
+//! sampling at 10 ms or 100 ms. [`ThroughputSampler`] does exactly that:
+//! receiver-side `Delivered` records, grouped by tag, binned, and scaled to
+//! Mbps of wire throughput.
+
+use crate::series::TimeSeries;
+use netsim::{CaptureKind, CaptureRecord, NodeId, Tag};
+use simbase::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Configuration for throughput sampling.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Bin width (the paper uses 10 ms and 100 ms).
+    pub bin: SimDuration,
+    /// Only count deliveries at this node (`None` = any node).
+    pub at_node: Option<NodeId>,
+    /// Measurement horizon; bins cover `[0, horizon)`.
+    pub horizon: SimTime,
+    /// Count only packets carrying payload (`true` excludes pure ACKs —
+    /// on the receiver side ACKs of the reverse direction would pollute
+    /// per-tag accounting).
+    pub data_only: bool,
+}
+
+impl SamplerConfig {
+    /// The paper's receiver-side setup.
+    pub fn tshark_like(at: NodeId, bin: SimDuration, horizon: SimTime) -> Self {
+        SamplerConfig { bin, at_node: Some(at), horizon, data_only: true }
+    }
+}
+
+/// Per-tag throughput series extracted from a capture.
+#[derive(Debug, Clone)]
+pub struct ThroughputSampler {
+    /// One series per tag, keyed by tag value, labelled `"tag N"`.
+    pub per_tag: BTreeMap<Tag, TimeSeries>,
+    /// Element-wise total across tags.
+    pub total: TimeSeries,
+    /// Packets counted.
+    pub packets: u64,
+    /// Wire bytes counted.
+    pub bytes: u64,
+}
+
+impl ThroughputSampler {
+    /// Bin `records` according to `cfg`.
+    pub fn from_records(records: &[CaptureRecord], cfg: &SamplerConfig) -> Self {
+        let nbins = (cfg.horizon.as_nanos()).div_ceil(cfg.bin.as_nanos()).max(1) as usize;
+        let mut bytes_per_tag: BTreeMap<Tag, Vec<u64>> = BTreeMap::new();
+        let mut packets = 0u64;
+        let mut bytes = 0u64;
+
+        for r in records {
+            if r.kind != CaptureKind::Delivered {
+                continue;
+            }
+            if let Some(node) = cfg.at_node {
+                if r.node != node {
+                    continue;
+                }
+            }
+            if cfg.data_only && r.pkt.data_len == 0 {
+                continue;
+            }
+            if r.time >= cfg.horizon {
+                continue;
+            }
+            let bin = (r.time.as_nanos() / cfg.bin.as_nanos()) as usize;
+            let entry = bytes_per_tag.entry(r.pkt.tag).or_insert_with(|| vec![0u64; nbins]);
+            entry[bin] += r.pkt.wire_size as u64;
+            packets += 1;
+            bytes += r.pkt.wire_size as u64;
+        }
+
+        let bin_secs = cfg.bin.as_secs_f64();
+        let to_mbps = |b: u64| (b as f64) * 8.0 / bin_secs / 1e6;
+        let per_tag: BTreeMap<Tag, TimeSeries> = bytes_per_tag
+            .into_iter()
+            .map(|(tag, bins)| {
+                let vals: Vec<f64> = bins.into_iter().map(to_mbps).collect();
+                (tag, TimeSeries::new(format!("tag {}", tag.0), SimTime::ZERO, cfg.bin, vals))
+            })
+            .collect();
+
+        let total = if per_tag.is_empty() {
+            TimeSeries::new("Total", SimTime::ZERO, cfg.bin, vec![0.0; nbins])
+        } else {
+            let refs: Vec<&TimeSeries> = per_tag.values().collect();
+            TimeSeries::sum_of("Total", &refs)
+        };
+
+        ThroughputSampler { per_tag, total, packets, bytes }
+    }
+
+    /// The series for one tag, if present.
+    pub fn tag(&self, tag: Tag) -> Option<&TimeSeries> {
+        self.per_tag.get(&tag)
+    }
+
+    /// Mean throughput per tag over `[from, to)`, in tag order.
+    pub fn mean_rates_over(&self, from: SimTime, to: SimTime) -> Vec<(Tag, f64)> {
+        self.per_tag.iter().map(|(t, s)| (*t, s.mean_over(from, to))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{PacketMeta, Protocol};
+
+    fn rec(time_ms: u64, node: u32, tag: u16, wire: u32, data: u32, kind: CaptureKind) -> CaptureRecord {
+        CaptureRecord {
+            time: SimTime::from_millis(time_ms),
+            node: NodeId(node),
+            kind,
+            link: None,
+            pkt: PacketMeta {
+                id: 0,
+                src: NodeId(0),
+                dst: NodeId(node),
+                tag: Tag(tag),
+                protocol: Protocol::Tcp,
+                wire_size: wire,
+                data_len: data,
+                ecn: netsim::packet::Ecn::NotEct,
+            },
+        }
+    }
+
+    fn cfg() -> SamplerConfig {
+        SamplerConfig::tshark_like(NodeId(5), SimDuration::from_millis(100), SimTime::from_secs(1))
+    }
+
+    #[test]
+    fn bins_by_tag_and_time() {
+        let records = vec![
+            rec(10, 5, 1, 1250, 1210, CaptureKind::Delivered), // bin 0, tag 1
+            rec(50, 5, 1, 1250, 1210, CaptureKind::Delivered), // bin 0, tag 1
+            rec(150, 5, 2, 1250, 1210, CaptureKind::Delivered), // bin 1, tag 2
+        ];
+        let s = ThroughputSampler::from_records(&records, &cfg());
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.bytes, 3750);
+        // 2500 bytes in a 100 ms bin = 0.2 Mbps... (2500*8/0.1/1e6).
+        let t1 = s.tag(Tag(1)).unwrap();
+        assert!((t1.values()[0] - 0.2).abs() < 1e-12);
+        assert_eq!(t1.values()[1], 0.0);
+        let t2 = s.tag(Tag(2)).unwrap();
+        assert!((t2.values()[1] - 0.1).abs() < 1e-12);
+        // Total sums element-wise.
+        assert!((s.total.values()[0] - 0.2).abs() < 1e-12);
+        assert!((s.total.values()[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filters_node_kind_and_acks() {
+        let records = vec![
+            rec(10, 4, 1, 1250, 1210, CaptureKind::Delivered), // wrong node
+            rec(10, 5, 1, 40, 0, CaptureKind::Delivered),      // pure ACK
+            rec(10, 5, 1, 1250, 1210, CaptureKind::Dropped),   // wrong kind
+            rec(10, 5, 1, 1250, 1210, CaptureKind::Delivered), // counted
+        ];
+        let s = ThroughputSampler::from_records(&records, &cfg());
+        assert_eq!(s.packets, 1);
+    }
+
+    #[test]
+    fn horizon_excludes_late_records() {
+        let records = vec![
+            rec(999, 5, 1, 100, 50, CaptureKind::Delivered),
+            rec(1000, 5, 1, 100, 50, CaptureKind::Delivered), // at horizon
+        ];
+        let s = ThroughputSampler::from_records(&records, &cfg());
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.total.len(), 10);
+    }
+
+    #[test]
+    fn empty_capture_gives_zero_series() {
+        let s = ThroughputSampler::from_records(&[], &cfg());
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.total.len(), 10);
+        assert_eq!(s.total.mean(), 0.0);
+        assert!(s.tag(Tag(1)).is_none());
+    }
+
+    #[test]
+    fn mean_rates_over_window() {
+        let records = vec![
+            rec(10, 5, 1, 12_500, 12_000, CaptureKind::Delivered), // 1 Mbps in bin 0
+            rec(110, 5, 1, 25_000, 24_000, CaptureKind::Delivered), // 2 Mbps in bin 1
+        ];
+        let s = ThroughputSampler::from_records(&records, &cfg());
+        let rates = s.mean_rates_over(SimTime::ZERO, SimTime::from_millis(200));
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, Tag(1));
+        assert!((rates[0].1 - 1.5).abs() < 1e-9);
+    }
+}

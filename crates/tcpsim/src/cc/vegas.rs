@@ -1,0 +1,229 @@
+//! TCP Vegas (Brakmo & Peterson 1995) — delay-based congestion control.
+//!
+//! Included as the single-path building block for the weighted-Vegas MPTCP
+//! coupling (`mptcpsim::cc::WVegas`) and for ablations contrasting
+//! loss-based and delay-based behaviour on the paper's topology. Vegas
+//! estimates the number of packets the flow itself has queued at the
+//! bottleneck, `diff = cwnd · (RTT − baseRTT) / RTT`, and holds it between
+//! `alpha` and `beta` packets.
+
+use super::{min_cwnd, AckContext, CongestionControl, LossContext};
+use simbase::SimTime;
+
+/// Vegas congestion control state.
+#[derive(Debug, Clone)]
+pub struct Vegas {
+    cwnd: f64,
+    ssthresh: f64,
+    mss: u32,
+    /// Lower bound on self-queued packets.
+    alpha: f64,
+    /// Upper bound on self-queued packets.
+    beta: f64,
+    /// Slow-start threshold on queued packets.
+    gamma: f64,
+    /// Next time an adjustment decision is allowed (once per RTT).
+    next_adjust: SimTime,
+}
+
+impl Vegas {
+    /// Create with the classic parameters alpha=2, beta=4, gamma=1.
+    pub fn new(initial_cwnd: u64, mss: u32) -> Self {
+        Vegas {
+            cwnd: initial_cwnd as f64,
+            ssthresh: f64::INFINITY,
+            mss,
+            alpha: 2.0,
+            beta: 4.0,
+            gamma: 1.0,
+            next_adjust: SimTime::ZERO,
+        }
+    }
+
+    /// Override alpha/beta (the per-flow queue occupancy band, in packets).
+    pub fn with_band(mut self, alpha: f64, beta: f64) -> Self {
+        assert!(alpha <= beta, "alpha must be <= beta");
+        self.alpha = alpha;
+        self.beta = beta;
+        self
+    }
+
+    /// The diff estimate in packets, if RTT data exists.
+    fn diff_packets(&self, ctx: &AckContext) -> Option<f64> {
+        let rtt = ctx.latest_rtt?.as_secs_f64();
+        let base = ctx.min_rtt?.as_secs_f64();
+        if rtt <= 0.0 {
+            return None;
+        }
+        let cwnd_pkts = self.cwnd / self.mss as f64;
+        Some(cwnd_pkts * (rtt - base) / rtt)
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn on_ack(&mut self, ctx: &AckContext) {
+        let mss = self.mss as f64;
+        // Decisions are made once per RTT.
+        let adjust_now = ctx.now >= self.next_adjust;
+        if adjust_now {
+            if let Some(rtt) = ctx.latest_rtt {
+                self.next_adjust = ctx.now + rtt;
+            }
+        }
+
+        if self.cwnd < self.ssthresh {
+            // Vegas slow start: double every *other* RTT; leave slow start
+            // when the queue estimate passes gamma.
+            if let Some(diff) = self.diff_packets(ctx) {
+                if diff > self.gamma {
+                    self.ssthresh = self.cwnd;
+                    return;
+                }
+            }
+            // Half-rate exponential growth.
+            self.cwnd += ctx.bytes_acked as f64 / 2.0;
+            return;
+        }
+
+        if !adjust_now {
+            return;
+        }
+        match self.diff_packets(ctx) {
+            Some(diff) if diff < self.alpha => self.cwnd += mss,
+            Some(diff) if diff > self.beta => {
+                self.cwnd = (self.cwnd - mss).max(min_cwnd(self.mss));
+            }
+            _ => {} // inside the band, or no RTT data: hold
+        }
+    }
+
+    fn on_loss_event(&mut self, ctx: &LossContext) {
+        let flight = ctx.flight_size as f64;
+        self.ssthresh = (flight / 2.0).max(min_cwnd(ctx.mss));
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, ctx: &LossContext) {
+        let flight = ctx.flight_size as f64;
+        self.ssthresh = (flight / 2.0).max(min_cwnd(ctx.mss));
+        self.cwnd = ctx.mss as f64;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd.max(self.mss as f64) as u64
+    }
+
+    fn ssthresh(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::MSS;
+    use super::*;
+    use simbase::SimDuration;
+
+    fn ack_with_rtts(now_ms: u64, rtt_ms: u64, base_ms: u64, flight: u64) -> AckContext {
+        AckContext {
+            now: SimTime::from_millis(now_ms),
+            bytes_acked: MSS as u64,
+            srtt: Some(SimDuration::from_millis(rtt_ms)),
+            latest_rtt: Some(SimDuration::from_millis(rtt_ms)),
+            min_rtt: Some(SimDuration::from_millis(base_ms)),
+            flight_size: flight,
+            mss: MSS,
+        }
+    }
+
+    /// Put Vegas into congestion avoidance with a known window.
+    fn in_ca(window_mss: u64) -> Vegas {
+        let mut cc = Vegas::new(10 * MSS as u64, MSS);
+        cc.on_loss_event(&LossContext {
+            now: SimTime::ZERO,
+            flight_size: 2 * window_mss * MSS as u64,
+            mss: MSS,
+        });
+        assert_eq!(cc.cwnd(), window_mss * MSS as u64);
+        cc
+    }
+
+    #[test]
+    fn grows_when_queue_is_empty() {
+        let mut cc = in_ca(10);
+        let w0 = cc.cwnd();
+        // RTT == baseRTT: diff = 0 < alpha -> +1 MSS per RTT.
+        for t in [0u64, 20, 40, 60] {
+            cc.on_ack(&ack_with_rtts(t, 20, 20, w0));
+        }
+        assert_eq!(cc.cwnd(), w0 + 4 * MSS as u64);
+    }
+
+    #[test]
+    fn shrinks_when_queueing_too_much() {
+        let mut cc = in_ca(20);
+        let w0 = cc.cwnd();
+        // cwnd 20 pkts, RTT 40 vs base 20: diff = 20*(20/40) = 10 > beta.
+        cc.on_ack(&ack_with_rtts(0, 40, 20, w0));
+        assert_eq!(cc.cwnd(), w0 - MSS as u64);
+    }
+
+    #[test]
+    fn holds_inside_band() {
+        let mut cc = in_ca(12);
+        let w0 = cc.cwnd();
+        // diff = 12 * (26-20)/26 = 2.8 in [2, 4]: hold.
+        cc.on_ack(&ack_with_rtts(0, 26, 20, w0));
+        assert_eq!(cc.cwnd(), w0);
+    }
+
+    #[test]
+    fn adjusts_at_most_once_per_rtt() {
+        let mut cc = in_ca(10);
+        let w0 = cc.cwnd();
+        // Many ACKs within one RTT: only the first may adjust.
+        for _ in 0..10 {
+            cc.on_ack(&ack_with_rtts(1, 20, 20, w0));
+        }
+        assert_eq!(cc.cwnd(), w0 + MSS as u64);
+    }
+
+    #[test]
+    fn slow_start_exits_on_queue_buildup() {
+        let mut cc = Vegas::new(4 * MSS as u64, MSS);
+        assert!(cc.in_slow_start());
+        // Strong queueing signal: diff = 4 * (40-20)/40 = 2 > gamma.
+        cc.on_ack(&ack_with_rtts(0, 40, 20, 4 * MSS as u64));
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = in_ca(30);
+        let flight = 30 * MSS as u64;
+        cc.on_loss_event(&LossContext { now: SimTime::ZERO, flight_size: flight, mss: MSS });
+        assert_eq!(cc.cwnd(), flight / 2);
+    }
+
+    #[test]
+    fn custom_band_is_respected() {
+        let mut cc = Vegas::new(10 * MSS as u64, MSS).with_band(1.0, 2.0);
+        cc.on_loss_event(&LossContext {
+            now: SimTime::ZERO,
+            flight_size: 20 * MSS as u64,
+            mss: MSS,
+        });
+        let w0 = cc.cwnd();
+        // diff = 10 * (26-20)/26 = 2.3 > beta(2) -> shrink.
+        cc.on_ack(&ack_with_rtts(0, 26, 20, w0));
+        assert_eq!(cc.cwnd(), w0 - MSS as u64);
+    }
+}

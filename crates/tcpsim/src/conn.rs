@@ -1,0 +1,185 @@
+//! Plain (single-path) TCP endpoint agents.
+//!
+//! These bridge the sans-IO engines to the simulator: [`TcpSenderAgent`]
+//! pumps [`crate::sender::TcpSender`] against the network, and
+//! [`TcpReceiverAgent`] wraps [`crate::receiver::TcpReceiver`]. They are the
+//! reference for how `mptcpsim` drives multiple engines from one agent, and
+//! they carry the single-path baseline experiments.
+
+use crate::app::AppSource;
+use crate::receiver::{ReceiverConfig, TcpReceiver};
+use crate::sender::{TcpConfig, TcpSender};
+use crate::wire::TcpSegment;
+use netsim::packet::Ecn;
+use netsim::{Agent, Ctx, NodeId, Packet, Protocol, Tag};
+use simbase::{LogLevel, SimTime};
+
+/// Timer tokens used by the TCP agents.
+const TOKEN_RTO: u64 = 1;
+const TOKEN_APP: u64 = 2;
+const TOKEN_DELACK: u64 = 3;
+
+/// Derive a stable flow hash from the port pair (for ECMP and traces).
+pub fn flow_hash(src_port: u16, dst_port: u16) -> u64 {
+    ((src_port as u64) << 16 | dst_port as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A bulk-data TCP sender endpoint.
+pub struct TcpSenderAgent {
+    sender: TcpSender,
+    app: AppSource,
+    dst: NodeId,
+    tag: Tag,
+    flow_hash: u64,
+    /// Earliest armed timer deadline (avoids flooding the event queue).
+    armed: Option<SimTime>,
+}
+
+impl TcpSenderAgent {
+    /// Create a sender agent towards `dst`, tagging its packets with `tag`.
+    pub fn new(cfg: TcpConfig, cc: Box<dyn crate::cc::CongestionControl>, app: AppSource, dst: NodeId, tag: Tag) -> Self {
+        let fh = flow_hash(cfg.src_port, cfg.dst_port);
+        TcpSenderAgent {
+            sender: TcpSender::new(cfg, cc),
+            app,
+            dst,
+            tag,
+            flow_hash: fh,
+            armed: None,
+        }
+    }
+
+    /// Access the underlying engine (post-run inspection).
+    pub fn sender(&self) -> &TcpSender {
+        &self.sender
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let ecn = if self.sender.config().ecn { Ecn::Ect } else { Ecn::NotEct };
+        while let Some(tx) = self.sender.poll_segment(ctx.now()) {
+            ctx.send_ecn(self.dst, self.tag, Protocol::Tcp, tx.seg.encode(), tx.len, self.flow_hash, ecn);
+        }
+        self.rearm(ctx);
+    }
+
+    fn rearm(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(t) = self.sender.next_timer() {
+            let fire_at = t.max(ctx.now());
+            // Only schedule if it beats the currently armed deadline.
+            if self.armed.map_or(true, |a| fire_at < a || a <= ctx.now()) {
+                ctx.set_timer_at(fire_at, TOKEN_RTO);
+                self.armed = Some(fire_at);
+            }
+        }
+    }
+}
+
+impl Agent for TcpSenderAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        match self.app {
+            AppSource::Unlimited => self.sender.set_unlimited(),
+            AppSource::Fixed(n) => {
+                self.sender.push_app_data(n);
+                // Bounded transfers close cleanly: FIN after the last byte.
+                self.sender.close();
+            }
+            AppSource::Paced { chunk, interval } => {
+                self.sender.push_app_data(chunk);
+                ctx.set_timer_after(interval, TOKEN_APP);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let seg = match TcpSegment::decode(&pkt.payload) {
+            Ok(seg) => seg,
+            Err(e) => {
+                ctx.log.log(ctx.now(), LogLevel::Warn, "tcp.sender", format!("bad segment: {e}"));
+                return;
+            }
+        };
+        if seg.flags.ack {
+            self.sender.on_ack(ctx.now(), &seg);
+        }
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_RTO => {
+                self.armed = None;
+                self.sender.on_timer(ctx.now());
+                self.pump(ctx);
+            }
+            TOKEN_APP => {
+                if let AppSource::Paced { chunk, interval } = self.app {
+                    self.sender.push_app_data(chunk);
+                    ctx.set_timer_after(interval, TOKEN_APP);
+                    self.pump(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("tcp.sender[{}]", self.sender.config().src_port)
+    }
+}
+
+/// A TCP receiver endpoint that ACKs whatever arrives.
+pub struct TcpReceiverAgent {
+    receiver: TcpReceiver,
+    tag: Tag,
+    flow_hash: u64,
+    /// Peer address, learned from the first data packet (needed to address
+    /// delayed-ACK flushes that fire outside packet context).
+    peer: Option<NodeId>,
+}
+
+impl TcpReceiverAgent {
+    /// Create a receiver; ACKs carry `tag` so they retrace the data path.
+    pub fn new(cfg: ReceiverConfig, tag: Tag) -> Self {
+        let fh = flow_hash(cfg.src_port, cfg.dst_port);
+        TcpReceiverAgent { receiver: TcpReceiver::new(cfg), tag, flow_hash: fh, peer: None }
+    }
+
+    /// Access the underlying engine (post-run inspection).
+    pub fn receiver(&self) -> &TcpReceiver {
+        &self.receiver
+    }
+}
+
+impl Agent for TcpReceiverAgent {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let seg = match TcpSegment::decode(&pkt.payload) {
+            Ok(seg) => seg,
+            Err(e) => {
+                ctx.log.log(ctx.now(), LogLevel::Warn, "tcp.receiver", format!("bad segment: {e}"));
+                return;
+            }
+        };
+        self.peer = Some(pkt.src);
+        let ce = pkt.ecn == Ecn::Ce;
+        if let Some(ack) = self.receiver.on_data_ecn(ctx.now(), &seg, pkt.data_len, ce) {
+            ctx.send(pkt.src, self.tag, Protocol::Tcp, ack.encode(), 0, self.flow_hash);
+        }
+        if let Some(t) = self.receiver.next_timer() {
+            ctx.set_timer_at(t.max(ctx.now()), TOKEN_DELACK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_DELACK {
+            if let Some(ack) = self.receiver.on_timer(ctx.now()) {
+                let peer = self.peer.expect("delayed ACK without traffic");
+                ctx.send(peer, self.tag, Protocol::Tcp, ack.encode(), 0, self.flow_hash);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "tcp.receiver".to_string()
+    }
+}

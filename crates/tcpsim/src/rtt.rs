@@ -1,0 +1,187 @@
+//! Round-trip time estimation and retransmission timeout (RFC 6298).
+//!
+//! Samples come from the timestamp option (`now - tsecr`), which makes every
+//! ACK a valid sample even during retransmission (Karn's problem does not
+//! arise with timestamps). The RTO follows the classic
+//! `SRTT + max(G, 4·RTTVAR)` recipe with exponential backoff, clamped to
+//! `[min_rto, max_rto]` — Linux uses a 200 ms floor, which matters at the
+//! paper's millisecond RTTs, so that is our default too.
+
+use simbase::SimDuration;
+
+/// Smoothed RTT state and RTO computation.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    /// Most recent raw sample.
+    latest: Option<SimDuration>,
+    /// Smallest sample ever seen (base RTT; used by delay-based CC).
+    min_rtt: Option<SimDuration>,
+    /// Current backoff multiplier (power of two).
+    backoff: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new(SimDuration::from_millis(200), SimDuration::from_secs(60))
+    }
+}
+
+impl RttEstimator {
+    /// Create with explicit RTO clamps.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(min_rto <= max_rto);
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            latest: None,
+            min_rtt: None,
+            backoff: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Incorporate a sample (RFC 6298 §2) and reset backoff — a valid
+    /// sample proves the path is alive.
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            None => rtt,
+            Some(m) => m.min(rtt),
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3) / 4 + err / 4;
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some((srtt * 7) / 8 + rtt / 8);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Current smoothed RTT (none before the first sample).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Most recent raw sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// Minimum RTT observed (base RTT).
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Current mean deviation estimate.
+    pub fn rttvar(&self) -> SimDuration {
+        self.rttvar
+    }
+
+    /// The retransmission timeout, including backoff.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            // Before any sample: 1 s (RFC 6298 §2.1).
+            None => SimDuration::from_secs(1),
+            Some(srtt) => srtt + (self.rttvar * 4).max(SimDuration::from_millis(1)),
+        };
+        let backed_off = base.saturating_mul(1u64 << self.backoff.min(16));
+        backed_off.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Double the RTO after a timeout (RFC 6298 §5.5).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Current backoff exponent (diagnostics).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> SimDuration = SimDuration::from_millis;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.on_sample(MS(100));
+        assert_eq!(e.srtt(), Some(MS(100)));
+        assert_eq!(e.rttvar(), MS(50));
+        // RTO = 100 + 4*50 = 300ms.
+        assert_eq!(e.rto(), MS(300));
+    }
+
+    #[test]
+    fn smoothing_converges_on_constant_rtt() {
+        let mut e = RttEstimator::default();
+        for _ in 0..100 {
+            e.on_sample(MS(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(srtt >= MS(79) && srtt <= MS(81), "srtt={srtt}");
+        // rttvar decays towards 0, so RTO approaches the 200ms floor.
+        assert_eq!(e.rto(), MS(200));
+    }
+
+    #[test]
+    fn variance_rises_on_jitter() {
+        let mut e = RttEstimator::default();
+        e.on_sample(MS(50));
+        let rto_stable = e.rto();
+        e.on_sample(MS(250));
+        assert!(e.rto() > rto_stable, "jitter must inflate RTO");
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = RttEstimator::default();
+        e.on_sample(MS(100)); // RTO 300ms
+        e.on_timeout();
+        assert_eq!(e.rto(), MS(600));
+        e.on_timeout();
+        assert_eq!(e.rto(), MS(1200));
+        e.on_sample(MS(100));
+        // rttvar decayed: 3/4·50 + 1/4·0 = 37.5 ms -> RTO 100 + 150 = 250.
+        assert_eq!(e.rto(), MS(250));
+        assert_eq!(e.backoff(), 0);
+    }
+
+    #[test]
+    fn rto_clamps_to_bounds() {
+        let mut e = RttEstimator::new(MS(200), SimDuration::from_secs(2));
+        e.on_sample(MS(1)); // tiny RTT -> floor
+        assert_eq!(e.rto(), MS(200));
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn min_rtt_tracks_floor() {
+        let mut e = RttEstimator::default();
+        e.on_sample(MS(30));
+        e.on_sample(MS(10));
+        e.on_sample(MS(50));
+        assert_eq!(e.min_rtt(), Some(MS(10)));
+        assert_eq!(e.latest(), Some(MS(50)));
+    }
+}

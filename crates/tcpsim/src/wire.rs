@@ -1,0 +1,647 @@
+//! TCP segment wire format.
+//!
+//! Segments are genuinely encoded to and decoded from bytes — the simulator
+//! carries the encoded header in `netsim::Packet::payload` and charges the
+//! link for header + virtual payload. Implemented options:
+//!
+//! * **Timestamps** (RFC 7323): `tsval`/`tsecr`, used for RTT sampling with
+//!   Karn-safe measurements.
+//! * **MSS** (on SYN).
+//! * **DSS** — a compact MPTCP Data Sequence Signal carrying a 64-bit data
+//!   sequence number, 64-bit data ACK, subflow-relative start and length
+//!   (modelled on RFC 8684 §3.3, with fixed-width fields for simplicity;
+//!   the semantics MPTCP needs are identical).
+//!
+//! Bulk payload bytes are *not* materialised: the virtual payload length
+//! travels in `netsim::Packet::data_len` (like the IP total-length field).
+
+use crate::seq::SeqNum;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// TCP header flags (subset; no URG modelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Connection-open.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Sender is done.
+    pub fin: bool,
+    /// Abort.
+    pub rst: bool,
+    /// ECN-Echo (RFC 3168): the receiver saw a CE mark.
+    pub ece: bool,
+    /// Congestion Window Reduced: the sender has reacted to ECE.
+    pub cwr: bool,
+}
+
+impl TcpFlags {
+    /// A plain ACK.
+    pub const ACK: TcpFlags =
+        TcpFlags { syn: false, ack: true, fin: false, rst: false, ece: false, cwr: false };
+
+    fn to_byte(self) -> u8 {
+        (self.syn as u8)
+            | (self.ack as u8) << 1
+            | (self.fin as u8) << 2
+            | (self.rst as u8) << 3
+            | (self.ece as u8) << 4
+            | (self.cwr as u8) << 5
+    }
+
+    fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            syn: b & 1 != 0,
+            ack: b & 2 != 0,
+            fin: b & 4 != 0,
+            rst: b & 8 != 0,
+            ece: b & 16 != 0,
+            cwr: b & 32 != 0,
+        }
+    }
+}
+
+/// RFC 7323 timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timestamps {
+    /// Sender's clock at transmit (we use simulated microseconds, truncated).
+    pub tsval: u32,
+    /// Echo of the peer's most recent `tsval`.
+    pub tsecr: u32,
+}
+
+/// A SACK block: a received range `[left, right)` above the cumulative ACK.
+pub type SackBlock = (SeqNum, SeqNum);
+
+/// MPTCP Data Sequence Signal (fixed-width variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DssOption {
+    /// Connection-level data ACK (next expected DSN), if present.
+    pub data_ack: Option<u64>,
+    /// Mapping: connection-level sequence of the first payload byte.
+    pub dsn: Option<u64>,
+    /// Mapping: subflow-relative stream offset the mapping starts at.
+    pub subflow_seq: u32,
+    /// Mapping: length in bytes.
+    pub data_len: u16,
+}
+
+/// The window field is carried with a fixed scale factor (RFC 7323 window
+/// scaling with shift 7, negotiated implicitly), so the advertised window
+/// has 128-byte granularity and an 8 MiB ceiling — ample for the paper's
+/// bandwidth-delay products.
+pub const WINDOW_SHIFT: u32 = 7;
+
+/// A TCP segment (header only; payload is virtual).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port (identifies the subflow under `ndiffports`).
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: SeqNum,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes. Encoded with [`WINDOW_SHIFT`]
+    /// granularity; values round down to a multiple of 128 on the wire.
+    pub window: u32,
+    /// Timestamps option.
+    pub ts: Option<Timestamps>,
+    /// MSS option (SYN only by convention; encoded whenever present).
+    pub mss: Option<u16>,
+    /// SACK blocks (RFC 2018), at most [`MAX_SACK_BLOCKS`].
+    pub sack: Vec<SackBlock>,
+    /// MPTCP DSS option.
+    pub dss: Option<DssOption>,
+}
+
+/// Maximum SACK blocks per segment (3 when timestamps are in use,
+/// RFC 2018 §3 option-space arithmetic).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+impl Default for TcpSegment {
+    fn default() -> Self {
+        TcpSegment {
+            src_port: 0,
+            dst_port: 0,
+            seq: SeqNum(0),
+            ack: SeqNum(0),
+            flags: TcpFlags::default(),
+            window: 0,
+            ts: None,
+            mss: None,
+            sack: Vec::new(),
+            dss: None,
+        }
+    }
+}
+
+/// Option kind bytes (private wire constants).
+const OPT_END: u8 = 0;
+const OPT_TS: u8 = 8;
+const OPT_MSS: u8 = 2;
+const OPT_SACK: u8 = 5;
+const OPT_DSS: u8 = 30; // MPTCP option kind
+
+/// Errors decoding a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// data_offset field inconsistent with the buffer.
+    BadDataOffset,
+    /// An option ran past the header end or had a bad length.
+    BadOption(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "segment truncated"),
+            WireError::BadDataOffset => write!(f, "bad data offset"),
+            WireError::BadOption(k) => write!(f, "malformed option kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl TcpSegment {
+    /// Encode the header (with options, padded to a 4-byte boundary).
+    pub fn encode(&self) -> Bytes {
+        let mut opts = BytesMut::new();
+        if let Some(ts) = &self.ts {
+            opts.put_u8(OPT_TS);
+            opts.put_u8(10);
+            opts.put_u32(ts.tsval);
+            opts.put_u32(ts.tsecr);
+        }
+        if let Some(mss) = self.mss {
+            opts.put_u8(OPT_MSS);
+            opts.put_u8(4);
+            opts.put_u16(mss);
+        }
+        if !self.sack.is_empty() {
+            assert!(self.sack.len() <= MAX_SACK_BLOCKS, "too many SACK blocks");
+            opts.put_u8(OPT_SACK);
+            opts.put_u8(2 + 8 * self.sack.len() as u8);
+            for (l, r) in &self.sack {
+                opts.put_u32(l.0);
+                opts.put_u32(r.0);
+            }
+        }
+        if let Some(dss) = &self.dss {
+            // kind, len, flags, [data_ack u64], [dsn u64 + ssn u32 + dll u16]
+            let has_ack = dss.data_ack.is_some();
+            let has_map = dss.dsn.is_some();
+            let len = 3 + if has_ack { 8 } else { 0 } + if has_map { 14 } else { 0 };
+            opts.put_u8(OPT_DSS);
+            opts.put_u8(len as u8);
+            opts.put_u8((has_ack as u8) | (has_map as u8) << 1);
+            if let Some(da) = dss.data_ack {
+                opts.put_u64(da);
+            }
+            if let Some(dsn) = dss.dsn {
+                opts.put_u64(dsn);
+                opts.put_u32(dss.subflow_seq);
+                opts.put_u16(dss.data_len);
+            }
+        }
+        while opts.len() % 4 != 0 {
+            opts.put_u8(OPT_END);
+        }
+
+        let data_offset_words = 5 + opts.len() / 4;
+        assert!(data_offset_words <= 15, "options too long");
+        let mut buf = BytesMut::with_capacity(20 + opts.len());
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq.0);
+        buf.put_u32(self.ack.0);
+        buf.put_u8((data_offset_words as u8) << 4);
+        buf.put_u8(self.flags.to_byte());
+        buf.put_u16((self.window >> WINDOW_SHIFT).min(u16::MAX as u32) as u16);
+        buf.put_u16(0); // checksum: links are error-free in the model
+        buf.put_u16(0); // urgent pointer unused
+        buf.extend_from_slice(&opts);
+        buf.freeze()
+    }
+
+    /// Decode a header previously produced by [`TcpSegment::encode`].
+    pub fn decode(mut buf: &[u8]) -> Result<TcpSegment, WireError> {
+        if buf.len() < 20 {
+            return Err(WireError::Truncated);
+        }
+        let total = buf.len();
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let seq = SeqNum(buf.get_u32());
+        let ack = SeqNum(buf.get_u32());
+        let data_offset_words = (buf.get_u8() >> 4) as usize;
+        let flags = TcpFlags::from_byte(buf.get_u8());
+        let window = (buf.get_u16() as u32) << WINDOW_SHIFT;
+        let _checksum = buf.get_u16();
+        let _urgent = buf.get_u16();
+
+        let header_len = data_offset_words * 4;
+        if header_len < 20 || header_len > total {
+            return Err(WireError::BadDataOffset);
+        }
+        let mut opts = &buf[..header_len - 20];
+
+        let mut seg = TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            ts: None,
+            mss: None,
+            sack: Vec::new(),
+            dss: None,
+        };
+        while opts.has_remaining() {
+            let kind = opts.get_u8();
+            match kind {
+                OPT_END => break,
+                OPT_TS => {
+                    if opts.remaining() < 9 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let len = opts.get_u8();
+                    if len != 10 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    seg.ts = Some(Timestamps { tsval: opts.get_u32(), tsecr: opts.get_u32() });
+                }
+                OPT_MSS => {
+                    if opts.remaining() < 3 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let len = opts.get_u8();
+                    if len != 4 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    seg.mss = Some(opts.get_u16());
+                }
+                OPT_SACK => {
+                    if !opts.has_remaining() {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let len = opts.get_u8() as usize;
+                    if len < 2 || (len - 2) % 8 != 0 || opts.remaining() < len - 2 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let k = (len - 2) / 8;
+                    if k > MAX_SACK_BLOCKS {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    for _ in 0..k {
+                        let l = SeqNum(opts.get_u32());
+                        let r = SeqNum(opts.get_u32());
+                        seg.sack.push((l, r));
+                    }
+                }
+                OPT_DSS => {
+                    if opts.remaining() < 2 {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let len = opts.get_u8() as usize;
+                    let fl = opts.get_u8();
+                    let has_ack = fl & 1 != 0;
+                    let has_map = fl & 2 != 0;
+                    let need = if has_ack { 8 } else { 0 } + if has_map { 14 } else { 0 };
+                    if len != 3 + need || opts.remaining() < need {
+                        return Err(WireError::BadOption(kind));
+                    }
+                    let data_ack = has_ack.then(|| opts.get_u64());
+                    let (dsn, subflow_seq, data_len) = if has_map {
+                        (Some(opts.get_u64()), opts.get_u32(), opts.get_u16())
+                    } else {
+                        (None, 0, 0)
+                    };
+                    seg.dss = Some(DssOption { data_ack, dsn, subflow_seq, data_len });
+                }
+                other => return Err(WireError::BadOption(other)),
+            }
+        }
+        Ok(seg)
+    }
+
+    /// Drop SACK blocks (newest-last) until the header fits the TCP
+    /// data-offset limit (60 bytes). Real stacks do the same arithmetic
+    /// when timestamps/MPTCP options compete for the 40 bytes of option
+    /// space (RFC 2018 §3).
+    pub fn trim_sack_to_fit(&mut self) {
+        while self.header_len() > 60 && !self.sack.is_empty() {
+            self.sack.pop();
+        }
+    }
+
+    /// Header length on the wire (what `encode().len()` will be).
+    pub fn header_len(&self) -> usize {
+        let mut opts = 0usize;
+        if self.ts.is_some() {
+            opts += 10;
+        }
+        if self.mss.is_some() {
+            opts += 4;
+        }
+        if !self.sack.is_empty() {
+            opts += 2 + 8 * self.sack.len();
+        }
+        if let Some(dss) = &self.dss {
+            opts += 3
+                + if dss.data_ack.is_some() { 8 } else { 0 }
+                + if dss.dsn.is_some() { 14 } else { 0 };
+        }
+        20 + opts.div_ceil(4) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(seg: &TcpSegment) -> TcpSegment {
+        let bytes = seg.encode();
+        assert_eq!(bytes.len(), seg.header_len(), "header_len must predict encoding");
+        TcpSegment::decode(&bytes).expect("decode")
+    }
+
+    #[test]
+    fn bare_header_roundtrips() {
+        let seg = TcpSegment {
+            src_port: 5001,
+            dst_port: 80,
+            seq: SeqNum(12345),
+            ack: SeqNum(67890),
+            flags: TcpFlags::ACK,
+            window: 65536,
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&seg), seg);
+        assert_eq!(seg.encode().len(), 20);
+    }
+
+    #[test]
+    fn window_granularity_rounds_down() {
+        let seg = TcpSegment { window: 1000, ..Default::default() };
+        let dec = roundtrip(&seg);
+        assert_eq!(dec.window, 1000 >> WINDOW_SHIFT << WINDOW_SHIFT);
+        assert_eq!(dec.window, 896);
+    }
+
+    #[test]
+    fn timestamps_roundtrip() {
+        let seg = TcpSegment {
+            ts: Some(Timestamps { tsval: 0xDEADBEEF, tsecr: 0x01020304 }),
+            window: 128,
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&seg), seg);
+        // 20 base + 10 ts padded to 12.
+        assert_eq!(seg.encode().len(), 32);
+    }
+
+    #[test]
+    fn mss_on_syn_roundtrips() {
+        let seg = TcpSegment {
+            flags: TcpFlags { syn: true, ..Default::default() },
+            mss: Some(1460),
+            ..Default::default()
+        };
+        let dec = roundtrip(&seg);
+        assert!(dec.flags.syn);
+        assert_eq!(dec.mss, Some(1460));
+    }
+
+    #[test]
+    fn dss_full_roundtrips() {
+        let seg = TcpSegment {
+            dss: Some(DssOption {
+                data_ack: Some(0x1122334455667788),
+                dsn: Some(0x99AABBCCDDEEFF00),
+                subflow_seq: 4242,
+                data_len: 1460,
+            }),
+            ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn dss_ack_only_roundtrips() {
+        let seg = TcpSegment {
+            dss: Some(DssOption { data_ack: Some(999), dsn: None, subflow_seq: 0, data_len: 0 }),
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn dss_map_only_roundtrips() {
+        let seg = TcpSegment {
+            dss: Some(DssOption { data_ack: None, dsn: Some(7), subflow_seq: 9, data_len: 100 }),
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&seg), seg);
+    }
+
+    #[test]
+    fn all_flags_roundtrip() {
+        for bits in 0..64u8 {
+            let seg = TcpSegment { flags: TcpFlags::from_byte(bits), ..Default::default() };
+            assert_eq!(roundtrip(&seg).flags, seg.flags);
+        }
+    }
+
+    #[test]
+    fn trim_sack_makes_full_option_mix_fit() {
+        let mut seg = TcpSegment {
+            ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
+            sack: (0..3).map(|i| (SeqNum(i), SeqNum(i + 1))).collect(),
+            dss: Some(DssOption { data_ack: Some(1), dsn: None, subflow_seq: 0, data_len: 0 }),
+            ..Default::default()
+        };
+        assert!(seg.header_len() > 60);
+        seg.trim_sack_to_fit();
+        assert!(seg.header_len() <= 60);
+        assert_eq!(seg.sack.len(), 2, "two blocks fit beside TS + DSS data-ACK");
+        let _ = seg.encode();
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        for k in 1..=MAX_SACK_BLOCKS {
+            let seg = TcpSegment {
+                flags: TcpFlags::ACK,
+                sack: (0..k).map(|i| (SeqNum(100 * i as u32), SeqNum(100 * i as u32 + 50))).collect(),
+                ts: Some(Timestamps { tsval: 7, tsecr: 8 }),
+                ..Default::default()
+            };
+            assert_eq!(roundtrip(&seg), seg, "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many SACK blocks")]
+    fn too_many_sack_blocks_panics() {
+        let seg = TcpSegment {
+            sack: (0..4).map(|i| (SeqNum(i), SeqNum(i + 1))).collect(),
+            ..Default::default()
+        };
+        let _ = seg.encode();
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(TcpSegment::decode(&[0u8; 10]), Err(WireError::Truncated));
+        // data_offset of 15 words = 60 bytes on a 20-byte buffer.
+        let mut bytes = TcpSegment::default().encode().to_vec();
+        bytes[12] = 15 << 4;
+        assert_eq!(TcpSegment::decode(&bytes), Err(WireError::BadDataOffset));
+        // Unknown option kind.
+        let seg = TcpSegment { ts: Some(Timestamps { tsval: 0, tsecr: 0 }), ..Default::default() };
+        let mut bytes = seg.encode().to_vec();
+        bytes[20] = 99; // clobber the option kind
+        assert!(matches!(TcpSegment::decode(&bytes), Err(WireError::BadOption(99))));
+    }
+
+    #[test]
+    fn header_len_matches_for_all_option_mixes() {
+        let variants = [
+            TcpSegment::default(),
+            TcpSegment { ts: Some(Timestamps { tsval: 1, tsecr: 2 }), ..Default::default() },
+            TcpSegment { mss: Some(1460), ..Default::default() },
+            TcpSegment {
+                dss: Some(DssOption { data_ack: Some(1), dsn: Some(2), subflow_seq: 3, data_len: 4 }),
+                ..Default::default()
+            },
+            TcpSegment {
+                ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
+                mss: Some(536),
+                dss: Some(DssOption { data_ack: None, dsn: Some(2), subflow_seq: 3, data_len: 4 }),
+                ..Default::default()
+            },
+        ];
+        for seg in &variants {
+            assert_eq!(seg.encode().len(), seg.header_len());
+            assert_eq!(seg.encode().len() % 4, 0, "padded to 32-bit words");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
+            .prop_map(|(syn, ack, fin, rst, ece, cwr)| TcpFlags { syn, ack, fin, rst, ece, cwr })
+    }
+
+    fn arb_ts() -> impl Strategy<Value = Option<Timestamps>> {
+        proptest::option::of(
+            (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| Timestamps { tsval, tsecr }),
+        )
+    }
+
+    fn arb_sack() -> impl Strategy<Value = Vec<SackBlock>> {
+        proptest::collection::vec(
+            (any::<u32>(), any::<u32>()).prop_map(|(l, r)| (SeqNum(l), SeqNum(r))),
+            0..=MAX_SACK_BLOCKS,
+        )
+    }
+
+    fn arb_dss() -> impl Strategy<Value = Option<DssOption>> {
+        proptest::option::of(
+            (
+                proptest::option::of(any::<u64>()),
+                proptest::option::of(any::<u64>()),
+                any::<u32>(),
+                any::<u16>(),
+            )
+                .prop_map(|(data_ack, dsn, subflow_seq, data_len)| DssOption {
+                    data_ack,
+                    dsn,
+                    subflow_seq: if dsn.is_some() { subflow_seq } else { 0 },
+                    data_len: if dsn.is_some() { data_len } else { 0 },
+                }),
+        )
+    }
+
+    proptest! {
+        /// Any segment with any option mix round-trips exactly through the
+        /// wire (the window field loses its sub-128-byte bits by design).
+        #[test]
+        fn encode_decode_roundtrip(
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            flags in arb_flags(),
+            window in 0u32..(1 << 23),
+            ts in arb_ts(),
+            mss in proptest::option::of(any::<u16>()),
+            sack in arb_sack(),
+            dss in arb_dss(),
+        ) {
+            let mut seg = TcpSegment {
+                src_port,
+                dst_port,
+                seq: SeqNum(seq),
+                ack: SeqNum(ack),
+                flags,
+                window,
+                ts,
+                mss,
+                sack,
+                dss,
+            };
+            // Respect the 60-byte header bound like real senders do.
+            seg.trim_sack_to_fit();
+            let bytes = seg.encode();
+            prop_assert_eq!(bytes.len(), seg.header_len());
+            prop_assert!(bytes.len() <= 60);
+            prop_assert_eq!(bytes.len() % 4, 0);
+            let dec = TcpSegment::decode(&bytes).unwrap();
+            let expected_window = window >> WINDOW_SHIFT << WINDOW_SHIFT;
+            prop_assert_eq!(dec.window, expected_window);
+            let mut norm = seg.clone();
+            norm.window = expected_window;
+            prop_assert_eq!(dec, norm);
+        }
+
+        /// Decoding never panics on arbitrary bytes (it may error).
+        #[test]
+        fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+            let _ = TcpSegment::decode(&bytes);
+        }
+
+        /// Truncating a valid encoding yields an error, not a bogus segment
+        /// (data-offset consistency check).
+        #[test]
+        fn truncation_is_detected(
+            seq in any::<u32>(),
+            cut in 1usize..20,
+        ) {
+            let seg = TcpSegment {
+                seq: SeqNum(seq),
+                ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
+                ..Default::default()
+            };
+            let bytes = seg.encode();
+            let cut = cut.min(bytes.len() - 1);
+            let truncated = &bytes[..bytes.len() - cut];
+            prop_assert!(TcpSegment::decode(truncated).is_err());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! ECMP-based multipathing in a small leaf–spine fabric — the alternative
+//! "tagging" substrate the paper mentions (path selection through the
+//! hashing used in equal-cost multi-path routing, as in Raiciu et al.,
+//! "Improving datacenter performance and robustness with multipath TCP").
+//!
+//! Two leaf switches, three spines. Each MPTCP subflow is a distinct
+//! five-tuple, so the ECMP hash maps it onto some spine. With enough
+//! subflows, the connection covers several spines and aggregates their
+//! capacity — no explicit tags required.
+//!
+//! Run: `cargo run --example datacenter_ecmp --release`
+
+use mptcp_overlap::mptcpsim::{MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SubflowConfig};
+use mptcp_overlap::netsim::{
+    CaptureConfig, CaptureKind, NodeId, QueueConfig, RoutingTables, Simulator, Tag, Topology,
+};
+use mptcp_overlap::prelude::*;
+
+fn main() {
+    // Topology: host A — leaf1 — {spine1..3} — leaf2 — host B.
+    let mut topo = Topology::new();
+    let host_a = topo.add_node("hostA");
+    let leaf1 = topo.add_node("leaf1");
+    let leaf2 = topo.add_node("leaf2");
+    let spines: Vec<NodeId> = (0..3).map(|i| topo.add_node(format!("spine{i}"))).collect();
+    let host_b = topo.add_node("hostB");
+    let q = QueueConfig::DropTailPackets(64);
+    let us = SimDuration::from_micros;
+    topo.add_link(host_a, leaf1, Bandwidth::from_gbps(1), us(5), q);
+    topo.add_link(leaf2, host_b, Bandwidth::from_gbps(1), us(5), q);
+    let mut uplinks = Vec::new();
+    for &sp in &spines {
+        uplinks.push(topo.add_link(leaf1, sp, Bandwidth::from_mbps(100), us(10), q));
+        topo.add_link(sp, leaf2, Bandwidth::from_mbps(100), us(10), q);
+    }
+
+    // Routing: hosts and spines use defaults; the leaves use ECMP groups
+    // over the three spines (hash of the subflow five-tuple).
+    let mut rt = RoutingTables::new(&topo);
+    rt.install_all_default_routes(&topo);
+    rt.fib_mut(leaf1).set_ecmp_group(host_b, uplinks.clone());
+    let downlinks: Vec<_> = spines
+        .iter()
+        .map(|&sp| topo.link_between(sp, leaf2).unwrap())
+        .collect();
+    let _ = downlinks;
+    // Reverse direction (ACKs) hashes over the same spines.
+    let rev_uplinks: Vec<_> = spines
+        .iter()
+        .map(|&sp| topo.link_between(leaf2, sp).unwrap())
+        .collect();
+    rt.fib_mut(leaf2).set_ecmp_group(host_a, rev_uplinks);
+
+    for n_subflows in [1u16, 2, 4, 8] {
+        let mut sim = Simulator::new(topo.clone(), rt.clone(), 7);
+        sim.set_capture(CaptureConfig::receiver_side(host_b));
+        // Untagged subflows: Tag::NONE means the FIB's ECMP group decides —
+        // the hash of the port pair picks the spine, exactly like a real
+        // fabric.
+        let subflows: Vec<SubflowConfig> = (0..n_subflows)
+            .map(|i| SubflowConfig { tag: Tag::NONE, src_port: 40_000 + i, dst_port: 80 })
+            .collect();
+        let cfg = MptcpConfig {
+            join_delay: SimDuration::from_millis(1),
+            ..MptcpConfig::bulk(host_b, subflows)
+        };
+        sim.add_agent(host_a, Box::new(MptcpSenderAgent::new(cfg)), SimTime::ZERO);
+        sim.add_agent(host_b, Box::new(MptcpReceiverAgent::default()), SimTime::ZERO);
+        let end = SimTime::from_secs(4);
+        sim.run_until(end);
+
+        let bytes: u64 = sim
+            .captures()
+            .iter()
+            .filter(|c| {
+                c.kind == CaptureKind::Delivered
+                    && c.pkt.data_len > 0
+                    && c.time >= SimTime::from_secs(1)
+            })
+            .map(|c| c.pkt.wire_size as u64)
+            .sum();
+        let mbps = bytes as f64 * 8.0 / 3.0 / 1e6;
+        // How many distinct spines did the subflows cover?
+        let used = uplinks
+            .iter()
+            .filter(|&&l| sim.link_stats(l, mptcp_overlap::netsim::Dir::AtoB).tx_packets > 100)
+            .count();
+        println!(
+            "{n_subflows} subflow(s): {mbps:>6.1} Mbps across {used} of 3 spines (max 300)"
+        );
+    }
+    println!(
+        "\nMore subflows -> more ECMP buckets covered -> higher aggregate, the\n\
+         datacenter-MPTCP effect (Raiciu et al. 2011) without explicit tags."
+    );
+}

@@ -1,0 +1,42 @@
+//! Scheduler comparison on the paper's overlapping-path network:
+//! minRTT (Linux default), round-robin, and redundant.
+//!
+//! The scheduler decides which subflow carries each chunk; on *bulk*
+//! transfers over overlapping paths the congestion controller dominates,
+//! but the redundant scheduler pays a visible duplicate-bytes tax for its
+//! latency insurance.
+//!
+//! Run: `cargo run --example scheduler_comparison --release`
+
+use mptcp_overlap::prelude::*;
+
+fn main() {
+    println!("Scheduler comparison on the paper network (CUBIC, 10 s)\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>12}",
+        "scheduler", "total Mbps", "efficiency", "dup DSN bytes", "drops"
+    );
+    for sched in [SchedulerKind::MinRtt, SchedulerKind::RoundRobin, SchedulerKind::Redundant] {
+        let net = PaperNetwork::new();
+        let result = Scenario {
+            default_path: net.default_path,
+            scheduler: sched,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_timing(SimDuration::from_secs(10), SimDuration::from_millis(100))
+        .run();
+        println!(
+            "{:<12} {:>12.1} {:>11.0}% {:>14} {:>12}",
+            format!("{sched:?}"),
+            result.steady_total_mbps(),
+            result.efficiency() * 100.0,
+            result.duplicate_bytes,
+            result.drops,
+        );
+    }
+    println!(
+        "\nRedundant duplicates every chunk on all three subflows: connection\n\
+         goodput collapses to roughly the slowest path's share while wire\n\
+         throughput stays high — the cost of latency insurance."
+    );
+}

@@ -1,0 +1,54 @@
+//! The classic MPTCP use case from the paper's introduction: a host
+//! connected through **Wi-Fi and cellular at the same time** — two fully
+//! disjoint paths with very different bandwidth and delay. With disjoint
+//! paths there is no coupling constraint: the optimum is simply the sum of
+//! the two capacities, and every congestion controller should aggregate.
+//!
+//! Run: `cargo run --example wifi_cellular --release`
+
+use mptcp_overlap::prelude::*;
+
+fn build() -> (Topology, Vec<Path>) {
+    let mut t = Topology::new();
+    let phone = t.add_node("phone");
+    let wifi_ap = t.add_node("wifi-ap");
+    let lte_enb = t.add_node("lte-enb");
+    let server = t.add_node("server");
+    let q = QueueConfig::DropTailPackets(64);
+    // Wi-Fi: fast and near.
+    t.add_link(phone, wifi_ap, Bandwidth::from_mbps(50), SimDuration::from_millis(3), q);
+    t.add_link(wifi_ap, server, Bandwidth::from_mbps(100), SimDuration::from_millis(7), q);
+    // LTE: slower and farther.
+    t.add_link(phone, lte_enb, Bandwidth::from_mbps(20), SimDuration::from_millis(15), q);
+    t.add_link(lte_enb, server, Bandwidth::from_mbps(100), SimDuration::from_millis(20), q);
+    let wifi = Path::from_nodes(&t, &[phone, wifi_ap, server]).unwrap();
+    let lte = Path::from_nodes(&t, &[phone, lte_enb, server]).unwrap();
+    (t, vec![wifi, lte])
+}
+
+fn main() {
+    let (topo, paths) = build();
+    println!("Wi-Fi + cellular aggregation (disjoint paths)\n");
+
+    for algo in [CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia] {
+        let (topo, paths) = (topo.clone(), paths.clone());
+        let result = Scenario::new(topo, paths)
+            .with_algo(algo)
+            .with_timing(SimDuration::from_secs(8), SimDuration::from_millis(100))
+            .run();
+        println!(
+            "{:<6} Wi-Fi {:>5.1} Mbps + LTE {:>5.1} Mbps = {:>5.1} / {:.0} Mbps  ({:.0}%)",
+            algo.name(),
+            result.per_path_steady_mbps[0],
+            result.per_path_steady_mbps[1],
+            result.steady_total_mbps(),
+            result.lp.total_mbps,
+            result.efficiency() * 100.0,
+        );
+    }
+    println!(
+        "\nWith disjoint paths the LP is trivial (sum of bottlenecks) and even\n\
+         the coupled algorithms aggregate — the hard case in the paper is\n\
+         specifically *overlapping* paths."
+    );
+}

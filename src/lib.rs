@@ -1,0 +1,31 @@
+//! # mptcp-overlap — facade crate
+//!
+//! A reproduction of *"The Performance of Multi-Path TCP with Overlapping
+//! Paths"* (Zongor et al., SIGCOMM Posters & Demos 2019). This crate simply
+//! re-exports the workspace's public API so applications can depend on a
+//! single crate:
+//!
+//! * [`simbase`] — simulated time, deterministic event queue, units, RNGs.
+//! * [`netsim`] — packet-level network simulator with tag routing.
+//! * [`tcpsim`] — sans-IO TCP engine with pluggable congestion control.
+//! * [`mptcpsim`] — MPTCP: subflows, schedulers, coupled congestion control.
+//! * [`lpsolve`] — simplex solvers and the max-throughput LP ground truth.
+//! * [`simtrace`] — receiver-side measurement, time series, convergence.
+//! * [`overlap_core`] — the paper's scenarios and experiment harness.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use lpsolve;
+pub use mptcpsim;
+pub use netsim;
+pub use overlap_core;
+pub use simbase;
+pub use simtrace;
+pub use tcpsim;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use overlap_core::prelude::*;
+}

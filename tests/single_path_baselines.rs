@@ -1,0 +1,115 @@
+//! Single-path TCP baselines through the facade: the substrate must behave
+//! like TCP before the MPTCP results can mean anything.
+
+use mptcp_overlap::netsim::{
+    CaptureConfig, CaptureKind, NodeId, QueueConfig, RoutingTables, Simulator, Tag, Topology,
+};
+use mptcp_overlap::prelude::*;
+use mptcp_overlap::tcpsim::{
+    AppSource, CongestionControl, Cubic, ReceiverConfig, Reno, TcpConfig, TcpReceiverAgent,
+    TcpSenderAgent, Vegas,
+};
+
+fn one_link(cap_mbps: u64, delay_ms: u64, queue: usize) -> (Topology, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let s = t.add_node("s");
+    let d = t.add_node("d");
+    t.add_link(
+        s,
+        d,
+        Bandwidth::from_mbps(cap_mbps),
+        SimDuration::from_millis(delay_ms),
+        QueueConfig::DropTailPackets(queue),
+    );
+    (t, s, d)
+}
+
+fn run_one_flow(
+    cap_mbps: u64,
+    delay_ms: u64,
+    queue: usize,
+    cc: Box<dyn CongestionControl>,
+    secs: u64,
+) -> f64 {
+    let (topo, s, d) = one_link(cap_mbps, delay_ms, queue);
+    let mut rt = RoutingTables::new(&topo);
+    rt.install_all_default_routes(&topo);
+    let mut sim = Simulator::new(topo, rt, 11);
+    sim.set_capture(CaptureConfig::receiver_side(d));
+    let cfg = TcpConfig::default();
+    sim.add_agent(
+        s,
+        Box::new(TcpSenderAgent::new(cfg, cc, AppSource::Unlimited, d, Tag::NONE)),
+        SimTime::ZERO,
+    );
+    sim.add_agent(d, Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)), SimTime::ZERO);
+    let end = SimTime::from_secs(secs);
+    sim.run_until(end);
+    let bytes: u64 = sim
+        .captures()
+        .iter()
+        .filter(|c| {
+            c.kind == CaptureKind::Delivered && c.pkt.data_len > 0 && c.time >= SimTime::from_secs(1)
+        })
+        .map(|c| c.pkt.wire_size as u64)
+        .sum();
+    bytes as f64 * 8.0 / (secs - 1) as f64 / 1e6
+}
+
+#[test]
+fn cubic_fills_links_across_capacities() {
+    for cap in [5u64, 20, 50] {
+        let cfg = TcpConfig::default();
+        let mbps = run_one_flow(cap, 5, 64, Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)), 4);
+        assert!(
+            mbps > 0.88 * cap as f64 && mbps <= cap as f64 * 1.01,
+            "cap {cap}: measured {mbps:.2}"
+        );
+    }
+}
+
+#[test]
+fn reno_and_vegas_fill_a_moderate_link() {
+    let cfg = TcpConfig::default();
+    let reno = run_one_flow(10, 5, 64, Box::new(Reno::new(cfg.initial_cwnd, cfg.mss)), 4);
+    assert!(reno > 8.5, "reno {reno:.2}");
+    let vegas = run_one_flow(10, 5, 64, Box::new(Vegas::new(cfg.initial_cwnd, cfg.mss)), 4);
+    assert!(vegas > 8.0, "vegas {vegas:.2}");
+}
+
+#[test]
+fn vegas_keeps_queues_short() {
+    // Delay-based CC should induce (almost) no drops where CUBIC overflows.
+    let (topo, s, d) = one_link(10, 5, 16);
+    let mut rt = RoutingTables::new(&topo);
+    rt.install_all_default_routes(&topo);
+    let mut sim = Simulator::new(topo, rt, 3);
+    let cfg = TcpConfig::default();
+    sim.add_agent(
+        s,
+        Box::new(TcpSenderAgent::new(
+            cfg.clone(),
+            Box::new(Vegas::new(cfg.initial_cwnd, cfg.mss)),
+            AppSource::Unlimited,
+            d,
+            Tag::NONE,
+        )),
+        SimTime::ZERO,
+    );
+    sim.add_agent(d, Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)), SimTime::ZERO);
+    sim.run_until(SimTime::from_secs(4));
+    let vegas_drops = sim.stats().packets_dropped;
+    assert!(vegas_drops < 30, "vegas should barely drop: {vegas_drops}");
+}
+
+#[test]
+fn single_path_mptcp_equals_plain_tcp() {
+    // One subflow over one path must look like TCP: throughput ~ capacity.
+    let (topo, s, d) = one_link(10, 5, 64);
+    let p = mptcp_overlap::netsim::Path::from_nodes(&topo, &[s, d]).unwrap();
+    let r = Scenario::new(topo, vec![p])
+        .with_timing(SimDuration::from_secs(4), SimDuration::from_millis(100))
+        .run();
+    assert!((r.lp.total_mbps - 10.0).abs() < 1e-6);
+    assert!(r.efficiency() > 0.85, "single-subflow MPTCP eff {:.2}", r.efficiency());
+}
