@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full local CI gate: formatting, clippy, simlint, tests.
+# Run from the repository root. Fails fast on the first broken stage.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> simlint (determinism & invariant source analysis)"
+cargo run -p xtask --offline --quiet -- lint
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

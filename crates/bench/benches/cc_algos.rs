@@ -46,7 +46,9 @@ fn bench_cc(c: &mut Criterion) {
     for algo in [CcAlgo::Lia, CcAlgo::Olia, CcAlgo::Balia] {
         group.bench_function(algo.name(), |b| {
             let coupling = Coupling::new();
-            let mut ccs: Vec<_> = (0..3).map(|_| coupling.make_cc(algo, 14600, 1460)).collect();
+            let mut ccs: Vec<_> = (0..3)
+                .map(|_| coupling.make_cc(algo, 14600, 1460))
+                .collect();
             b.iter(|| {
                 for cc in &mut ccs {
                     cc.on_ack(&a);

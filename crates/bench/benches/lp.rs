@@ -52,7 +52,10 @@ fn bench_lp(c: &mut Criterion) {
         })
     });
     group.bench_function("extract_from_topology", |b| {
-        let net = RandomOverlapNet::generate(&RandomOverlapConfig { paths: 5, ..Default::default() });
+        let net = RandomOverlapNet::generate(&RandomOverlapConfig {
+            paths: 5,
+            ..Default::default()
+        });
         b.iter(|| std::hint::black_box(net.lp_optimum().total_mbps))
     });
     group.finish();

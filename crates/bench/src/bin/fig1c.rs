@@ -11,7 +11,10 @@ use overlap_core::prelude::*;
 fn main() {
     println!("E1 / Figure 1c — throughput constraints of the paper network\n");
     for variant in [ConstraintVariant::Consistent, ConstraintVariant::AsPrinted] {
-        let net = PaperNetwork::build(&PaperNetworkConfig { variant, ..Default::default() });
+        let net = PaperNetwork::build(&PaperNetworkConfig {
+            variant,
+            ..Default::default()
+        });
         let sol = net.lp_optimum();
         println!("--- variant: {variant:?} ---");
         println!("{}", sol.lp);

@@ -8,10 +8,16 @@ use overlap_core::FIG2_SEED;
 fn main() {
     let result = fig2a(FIG2_SEED);
     if std::env::args().any(|a| a == "--csv") {
-        let series: Vec<&TimeSeries> =
-            result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+        let series: Vec<&TimeSeries> = result
+            .per_path
+            .iter()
+            .chain(std::iter::once(&result.total))
+            .collect();
         print!("{}", to_csv(&series));
         return;
     }
-    print!("{}", render_run("Figure 2a — MPTCP with CUBIC (100 ms sampling)", &result));
+    print!(
+        "{}",
+        render_run("Figure 2a — MPTCP with CUBIC (100 ms sampling)", &result)
+    );
 }

@@ -12,13 +12,22 @@ use overlap_core::FIG2_SEED;
 fn main() {
     let short = fig2b(FIG2_SEED);
     if std::env::args().any(|a| a == "--csv") {
-        let series: Vec<&TimeSeries> =
-            short.per_path.iter().chain(std::iter::once(&short.total)).collect();
+        let series: Vec<&TimeSeries> = short
+            .per_path
+            .iter()
+            .chain(std::iter::once(&short.total))
+            .collect();
         print!("{}", to_csv(&series));
         return;
     }
-    print!("{}", render_run("Figure 2b — MPTCP with OLIA (100 ms sampling, 4 s)", &short));
+    print!(
+        "{}",
+        render_run("Figure 2b — MPTCP with OLIA (100 ms sampling, 4 s)", &short)
+    );
     println!();
     let long = fig2b_long(FIG2_SEED);
-    print!("{}", render_run("Figure 2b (continuation) — OLIA over 25 s", &long));
+    print!(
+        "{}",
+        render_run("Figure 2b (continuation) — OLIA over 25 s", &long)
+    );
 }

@@ -11,10 +11,16 @@ use overlap_core::FIG2_SEED;
 fn main() {
     let result = fig2c(FIG2_SEED);
     if std::env::args().any(|a| a == "--csv") {
-        let series: Vec<&TimeSeries> =
-            result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+        let series: Vec<&TimeSeries> = result
+            .per_path
+            .iter()
+            .chain(std::iter::once(&result.total))
+            .collect();
         print!("{}", to_csv(&series));
         return;
     }
-    print!("{}", render_run("Figure 2c — CUBIC detail (10 ms sampling, 0.5 s)", &result));
+    print!(
+        "{}",
+        render_run("Figure 2c — CUBIC detail (10 ms sampling, 0.5 s)", &result)
+    );
 }

@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run -p bench --bin table1_results --release [seeds] [secs]`
 
-use overlap_core::prelude::*;
 use mptcpsim::CcAlgo;
+use overlap_core::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

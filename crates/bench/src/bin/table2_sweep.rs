@@ -7,20 +7,31 @@
 //!
 //! Run: `cargo run -p bench --bin table2_sweep --release`
 
-use overlap_core::prelude::*;
 use mptcpsim::CcAlgo;
+use overlap_core::prelude::*;
 use overlap_core::CrossTraffic;
 
 fn paper_scenario() -> Scenario {
     let net = PaperNetwork::new();
-    Scenario { default_path: net.default_path, ..Scenario::new(net.topology, net.paths) }
-        .with_timing(SimDuration::from_secs(15), SimDuration::from_millis(100))
+    Scenario {
+        default_path: net.default_path,
+        ..Scenario::new(net.topology, net.paths)
+    }
+    .with_timing(SimDuration::from_secs(15), SimDuration::from_millis(100))
 }
 
 fn main() {
     println!("--- scheduler ablation (CUBIC, paper network, 15 s) ---");
-    for sched in [SchedulerKind::MinRtt, SchedulerKind::RoundRobin, SchedulerKind::Redundant] {
-        let r = Scenario { scheduler: sched, ..paper_scenario() }.run();
+    for sched in [
+        SchedulerKind::MinRtt,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Redundant,
+    ] {
+        let r = Scenario {
+            scheduler: sched,
+            ..paper_scenario()
+        }
+        .run();
         println!(
             "{:<11} steady {:>5.1} Mbps  eff {:>3.0}%  dup-bytes {:>9}",
             format!("{sched:?}"),
@@ -33,7 +44,11 @@ fn main() {
     println!("\n--- SACK ablation (paper network, 15 s) ---");
     for algo in [CcAlgo::Cubic, CcAlgo::Lia] {
         for sack in [true, false] {
-            let r = Scenario { sack, ..paper_scenario().with_algo(algo) }.run();
+            let r = Scenario {
+                sack,
+                ..paper_scenario().with_algo(algo)
+            }
+            .run();
             println!(
                 "{:<6} sack={:<5} steady {:>5.1} Mbps  eff {:>3.0}%  rtx {:>6}",
                 algo.name(),
@@ -51,7 +66,14 @@ fn main() {
         let cases: Vec<(&str, QueueConfig, bool)> = vec![
             ("droptail-32", QueueConfig::DropTailPackets(32), false),
             ("red", QueueConfig::Red(RedConfig::default()), false),
-            ("red+ecn", QueueConfig::Red(RedConfig { ecn_marking: true, ..Default::default() }), true),
+            (
+                "red+ecn",
+                QueueConfig::Red(RedConfig {
+                    ecn_marking: true,
+                    ..Default::default()
+                }),
+                true,
+            ),
             ("codel", QueueConfig::CoDel(CoDelConfig::default()), false),
         ];
         for (name, queue, ecn) in cases {
@@ -127,12 +149,18 @@ fn main() {
             "loss {:>5.3}: steady {:>5.1} Mbps  per-path {:?}",
             loss,
             r.steady_total_mbps(),
-            r.per_path_steady_mbps.iter().map(|v| (v * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            r.per_path_steady_mbps
+                .iter()
+                .map(|v| (v * 10.0).round() / 10.0)
+                .collect::<Vec<_>>(),
         );
     }
 
     println!("\n--- random overlapping topologies (10 instances, 15 s) ---");
-    println!("{:<6} {:>10} {:>10} {:>8}", "algo", "mean eff", "min eff", "paths");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "algo", "mean eff", "min eff", "paths"
+    );
     for paths in [3usize, 4] {
         for algo in [CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia] {
             let mut effs = Vec::new();

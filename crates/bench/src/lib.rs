@@ -1,1 +1,3 @@
 //! Bench crate helper library (bins and benches live alongside).
+
+#![forbid(unsafe_code)]

@@ -18,10 +18,16 @@ use simbase::SimDuration;
 pub const FIG2_SEED: u64 = 42;
 
 fn paper_scenario(default_path: usize, algo: CcAlgo, seed: u64) -> Scenario {
-    let net = PaperNetwork::build(&PaperNetworkConfig { default_path, ..Default::default() });
-    Scenario { default_path: net.default_path, ..Scenario::new(net.topology, net.paths) }
-        .with_algo(algo)
-        .with_seed(seed)
+    let net = PaperNetwork::build(&PaperNetworkConfig {
+        default_path,
+        ..Default::default()
+    });
+    Scenario {
+        default_path: net.default_path,
+        ..Scenario::new(net.topology, net.paths)
+    }
+    .with_algo(algo)
+    .with_seed(seed)
 }
 
 /// Figure 2a: MPTCP with uncoupled CUBIC, Path 2 default, 4 s at 100 ms.

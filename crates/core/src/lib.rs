@@ -30,12 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod determinism;
 pub mod experiments;
 pub mod paper;
 pub mod randomnet;
 pub mod report;
 pub mod scenario;
 
+pub use determinism::{assert_deterministic, double_run, DeterminismReport};
 pub use experiments::{fig2a, fig2b, fig2b_long, fig2c, results_table, ResultsRow, FIG2_SEED};
 pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
 pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};

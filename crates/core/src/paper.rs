@@ -124,18 +124,24 @@ impl PaperNetwork {
         t.add_link(s, v1, bw(40), dl, q); // b12: P1 & P2
         t.add_link(v4, v2, bw(cap_b13), dl, q); // b13: P1 & P3
         t.add_link(v3, d, bw(cap_b23), dl, q); // b23: P2 & P3
-        // Exclusive links.
+                                               // Exclusive links.
         t.add_link(v1, v4, bw(100), fast(0, cfg), q); // P1
         t.add_link(v2, d, bw(100), fast(0, cfg), q); // P1
         t.add_link(v1, v3, bw(100), fast(1, cfg), q); // P2
         t.add_link(s, v4, bw(100), fast(2, cfg), q); // P3
         t.add_link(v2, v3, bw(100), fast(2, cfg), q); // P3
 
-        let p1 = Path::from_nodes(&t, &[s, v1, v4, v2, d]).expect("path 1");
-        let p2 = Path::from_nodes(&t, &[s, v1, v3, d]).expect("path 2");
-        let p3 = Path::from_nodes(&t, &[s, v4, v2, v3, d]).expect("path 3");
+        let p1 = Path::from_nodes(&t, &[s, v1, v4, v2, d]).expect("path 1"); // simlint: allow(unwrap, reason = "hard-coded Figure-1 walk; failure means the topology constants are wrong")
+        let p2 = Path::from_nodes(&t, &[s, v1, v3, d]).expect("path 2"); // simlint: allow(unwrap, reason = "hard-coded Figure-1 walk; failure means the topology constants are wrong")
+        let p3 = Path::from_nodes(&t, &[s, v4, v2, v3, d]).expect("path 3"); // simlint: allow(unwrap, reason = "hard-coded Figure-1 walk; failure means the topology constants are wrong")
 
-        PaperNetwork { topology: t, paths: vec![p1, p2, p3], default_path: cfg.default_path, src: s, dst: d }
+        PaperNetwork {
+            topology: t,
+            paths: vec![p1, p2, p3],
+            default_path: cfg.default_path,
+            src: s,
+            dst: d,
+        }
     }
 
     /// The LP optimum for this network (solved fresh; cheap).
@@ -167,7 +173,10 @@ mod tests {
 
     #[test]
     fn as_printed_variant_gives_permuted_optimum() {
-        let cfg = PaperNetworkConfig { variant: ConstraintVariant::AsPrinted, ..Default::default() };
+        let cfg = PaperNetworkConfig {
+            variant: ConstraintVariant::AsPrinted,
+            ..Default::default()
+        };
         let net = PaperNetwork::build(&cfg);
         let sol = net.lp_optimum();
         assert!((sol.total_mbps - 90.0).abs() < 1e-6);
@@ -184,10 +193,14 @@ mod tests {
         assert_eq!(p1.shared_links(p3).len(), 1);
         assert_eq!(p2.shared_links(p3).len(), 1);
         // The three shared links are distinct.
-        let mut shared: Vec<_> = [p1.shared_links(p2), p1.shared_links(p3), p2.shared_links(p3)]
-            .into_iter()
-            .flatten()
-            .collect();
+        let mut shared: Vec<_> = [
+            p1.shared_links(p2),
+            p1.shared_links(p3),
+            p2.shared_links(p3),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
         shared.sort();
         shared.dedup();
         assert_eq!(shared.len(), 3);
@@ -203,7 +216,10 @@ mod tests {
     #[test]
     fn default_path_has_lowest_rtt() {
         for default in 0..3 {
-            let cfg = PaperNetworkConfig { default_path: default, ..Default::default() };
+            let cfg = PaperNetworkConfig {
+                default_path: default,
+                ..Default::default()
+            };
             let net = PaperNetwork::build(&cfg);
             let delays: Vec<_> = net
                 .paths
@@ -226,7 +242,10 @@ mod tests {
     fn paper_quote_path2_capacity_is_40() {
         // "the default shortest path has a maximal capacity of 40 Mbps"
         let net = PaperNetwork::new();
-        assert_eq!(net.paths[1].raw_capacity(&net.topology), Bandwidth::from_mbps(40));
+        assert_eq!(
+            net.paths[1].raw_capacity(&net.topology),
+            Bandwidth::from_mbps(40)
+        );
     }
 
     #[test]

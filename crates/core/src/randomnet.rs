@@ -78,8 +78,8 @@ impl RandomOverlapNet {
         let d = t.add_node("d");
 
         // Bottleneck nodes and links per pair.
-        let mut pair_nodes = std::collections::HashMap::new();
-        let mut pair_links: std::collections::HashMap<(usize, usize), LinkId> = Default::default();
+        let mut pair_nodes = std::collections::BTreeMap::new();
+        let mut pair_links: std::collections::BTreeMap<(usize, usize), LinkId> = Default::default();
         let mut bottlenecks = Vec::new();
         for i in 0..n {
             for j in i + 1..n {
@@ -109,11 +109,18 @@ impl RandomOverlapNet {
                 cur = v;
             }
             links.push(t.add_link(cur, d, private, cfg.link_delay, cfg.queue));
+            // simlint: allow(unwrap, reason = "generator emits fresh nodes per hop, so the walk is simple by construction")
             let path = Path::from_links(&t, s, &links).expect("generated path is simple");
             paths.push(path);
         }
 
-        RandomOverlapNet { topology: t, paths, bottlenecks, src: s, dst: d }
+        RandomOverlapNet {
+            topology: t,
+            paths,
+            bottlenecks,
+            src: s,
+            dst: d,
+        }
     }
 
     /// The LP ground truth for this instance.
@@ -132,7 +139,11 @@ mod tests {
         // the optimum total is (c01 + c02 + c12) / 2 — provided the
         // triangle inequality holds so all x_i >= 0.
         for seed in 0..20 {
-            let cfg = RandomOverlapConfig { seed, capacity_range: (50, 60), ..Default::default() };
+            let cfg = RandomOverlapConfig {
+                seed,
+                capacity_range: (50, 60),
+                ..Default::default()
+            };
             let net = RandomOverlapNet::generate(&cfg);
             let sol = net.lp_optimum();
             let sum: u64 = net.bottlenecks.iter().map(|&(_, _, c)| c).sum();
@@ -165,10 +176,19 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = RandomOverlapNet::generate(&RandomOverlapConfig { seed: 9, ..Default::default() });
-        let b = RandomOverlapNet::generate(&RandomOverlapConfig { seed: 9, ..Default::default() });
+        let a = RandomOverlapNet::generate(&RandomOverlapConfig {
+            seed: 9,
+            ..Default::default()
+        });
+        let b = RandomOverlapNet::generate(&RandomOverlapConfig {
+            seed: 9,
+            ..Default::default()
+        });
         assert_eq!(a.bottlenecks, b.bottlenecks);
-        let c = RandomOverlapNet::generate(&RandomOverlapConfig { seed: 10, ..Default::default() });
+        let c = RandomOverlapNet::generate(&RandomOverlapConfig {
+            seed: 10,
+            ..Default::default()
+        });
         assert_ne!(a.bottlenecks, c.bottlenecks);
     }
 
@@ -186,7 +206,10 @@ mod tests {
 
     #[test]
     fn lp_never_exceeds_greedy_upper_bounds() {
-        let net = RandomOverlapNet::generate(&RandomOverlapConfig { seed: 3, ..Default::default() });
+        let net = RandomOverlapNet::generate(&RandomOverlapConfig {
+            seed: 3,
+            ..Default::default()
+        });
         let sol = net.lp_optimum();
         // Each x_i is bounded by the min of its two bottlenecks.
         for (i, &x) in sol.per_path_mbps.iter().enumerate() {

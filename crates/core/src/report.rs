@@ -10,8 +10,11 @@ use std::fmt::Write as _;
 pub fn render_run(title: &str, result: &RunResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let series: Vec<&simtrace::TimeSeries> =
-        result.per_path.iter().chain(std::iter::once(&result.total)).collect();
+    let series: Vec<&simtrace::TimeSeries> = result
+        .per_path
+        .iter()
+        .chain(std::iter::once(&result.total))
+        .collect();
     let opts = ChartOptions {
         y_max: Some((result.lp.total_mbps * 1.15).max(result.total.max())),
         ..Default::default()
@@ -62,7 +65,11 @@ pub fn render_run(title: &str, result: &RunResult) -> String {
             );
         }
     }
-    let _ = writeln!(out, "Drops: {}   duplicate DSN bytes: {}", result.drops, result.duplicate_bytes);
+    let _ = writeln!(
+        out,
+        "Drops: {}   duplicate DSN bytes: {}",
+        result.drops, result.duplicate_bytes
+    );
     out
 }
 
@@ -100,25 +107,28 @@ mod tests {
 
     #[test]
     fn render_table_formats_rows() {
-        let rows = vec![ResultsRow {
-            algo: CcAlgo::Cubic,
-            default_path: 1,
-            converged_fraction: 1.0,
-            mean_total_mbps: 88.4,
-            mean_efficiency: 0.982,
-            mean_convergence_s: Some(1.25),
-            mean_cov: 0.041,
-            seeds: 5,
-        }, ResultsRow {
-            algo: CcAlgo::Lia,
-            default_path: 0,
-            converged_fraction: 0.0,
-            mean_total_mbps: 71.0,
-            mean_efficiency: 0.79,
-            mean_convergence_s: None,
-            mean_cov: 0.02,
-            seeds: 5,
-        }];
+        let rows = vec![
+            ResultsRow {
+                algo: CcAlgo::Cubic,
+                default_path: 1,
+                converged_fraction: 1.0,
+                mean_total_mbps: 88.4,
+                mean_efficiency: 0.982,
+                mean_convergence_s: Some(1.25),
+                mean_cov: 0.041,
+                seeds: 5,
+            },
+            ResultsRow {
+                algo: CcAlgo::Lia,
+                default_path: 0,
+                converged_fraction: 0.0,
+                mean_total_mbps: 71.0,
+                mean_efficiency: 0.79,
+                mean_convergence_s: None,
+                mean_cov: 0.02,
+                seeds: 5,
+            },
+        ];
         let s = render_table(&rows);
         assert!(s.contains("CUBIC"), "{s}");
         assert!(s.contains("Path 2"));

@@ -7,8 +7,12 @@
 //! simulation, sample the receiver-side capture per tag (the tshark step),
 //! and fold in the LP ground truth.
 
-use mptcpsim::{CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SchedulerKind, SubflowConfig};
-use netsim::{CaptureConfig, CbrSource, DatagramSink, NodeId, Path, RoutingTables, Simulator, Tag, Topology};
+use mptcpsim::{
+    CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SchedulerKind, SubflowConfig,
+};
+use netsim::{
+    CaptureConfig, CbrSource, DatagramSink, NodeId, Path, RoutingTables, Simulator, Tag, Topology,
+};
 use simbase::Bandwidth;
 use simbase::{SimDuration, SimTime};
 use simtrace::{ConvergenceReport, SamplerConfig, ThroughputSampler, TimeSeries};
@@ -109,7 +113,10 @@ impl Scenario {
     /// Execute the scenario.
     pub fn run(&self) -> RunResult {
         assert!(!self.paths.is_empty(), "need at least one path");
-        assert!(self.default_path < self.paths.len(), "default_path out of range");
+        assert!(
+            self.default_path < self.paths.len(),
+            "default_path out of range"
+        );
         let src = self.paths[0].src();
         let dst = mptcpsim::common_destination(&self.paths);
 
@@ -147,10 +154,20 @@ impl Scenario {
             ecn: self.ecn,
             ..MptcpConfig::bulk(dst, subflows)
         };
-        let sender_id = sim.add_agent(src, Box::new(MptcpSenderAgent::new(mptcp_cfg)), SimTime::ZERO);
+        let sender_id = sim.add_agent(
+            src,
+            Box::new(MptcpSenderAgent::new(mptcp_cfg)),
+            SimTime::ZERO,
+        );
         for bg in &self.background {
-            assert!(bg.from != src && bg.from != dst, "cross traffic cannot share MPTCP hosts");
-            assert!(bg.to != src && bg.to != dst, "cross traffic cannot share MPTCP hosts");
+            assert!(
+                bg.from != src && bg.from != dst,
+                "cross traffic cannot share MPTCP hosts"
+            );
+            assert!(
+                bg.to != src && bg.to != dst,
+                "cross traffic cannot share MPTCP hosts"
+            );
             sim.add_agent(
                 bg.from,
                 Box::new(CbrSource::new(bg.to, Tag::NONE, bg.rate, bg.packet_bytes)),
@@ -159,18 +176,43 @@ impl Scenario {
             sim.add_agent(bg.to, Box::new(DatagramSink::default()), SimTime::ZERO);
         }
         let receiver = MptcpReceiverAgent::default();
-        let receiver = if self.sack { receiver } else { receiver.without_sack() };
+        let receiver = if self.sack {
+            receiver
+        } else {
+            receiver.without_sack()
+        };
         let receiver_id = sim.add_agent(dst, Box::new(receiver), SimTime::ZERO);
 
         let end = SimTime::ZERO + self.duration;
         sim.run_until(end);
+
+        // Order-sensitive digest of the full capture stream: two runs of
+        // the same scenario + seed must produce the same hash (the
+        // double-run harness in [`crate::determinism`] relies on this).
+        let trace_hash = simtrace::TraceHasher::hash_records(sim.captures());
+        #[cfg(feature = "check")]
+        {
+            let violations =
+                simtrace::check_trace(sim.captures(), &mut simtrace::default_invariants());
+            assert!(
+                violations.is_empty(),
+                "trace invariants violated:\n{}",
+                violations
+                    .iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
 
         // tshark step: bin receiver-side deliveries per tag.
         let sampler = ThroughputSampler::from_records(
             sim.captures(),
             &SamplerConfig::tshark_like(dst, self.sample_bin, end),
         );
-        let nbins = (self.duration.as_nanos()).div_ceil(self.sample_bin.as_nanos()).max(1) as usize;
+        let nbins = (self.duration.as_nanos())
+            .div_ceil(self.sample_bin.as_nanos())
+            .max(1) as usize;
         let per_path: Vec<TimeSeries> = (0..self.paths.len())
             .map(|i| match sampler.tag(Tag(1 + i as u16)) {
                 Some(s) => {
@@ -205,14 +247,30 @@ impl Scenario {
         let steady_from = convergence
             .converged_at
             .unwrap_or(SimTime::ZERO + self.duration.mul_f64(0.75));
-        let per_path_steady_mbps: Vec<f64> =
-            per_path.iter().map(|s| s.mean_over(steady_from, end)).collect();
+        let per_path_steady_mbps: Vec<f64> = per_path
+            .iter()
+            .map(|s| s.mean_over(steady_from, end))
+            .collect();
+
+        // Rates are bytes-over-time: negative or non-finite values can only
+        // come from arithmetic bugs in the sampler, never from the network.
+        #[cfg(feature = "check")]
+        for s in &per_path {
+            for (i, &v) in s.values().iter().enumerate() {
+                assert!(
+                    v.is_finite() && v >= 0.0,
+                    "{}: bin {i} has invalid rate {v} Mbps",
+                    s.label
+                );
+            }
+        }
 
         // Pull endpoint state out of the simulator for the record.
         let sender = sim
             .agent(sender_id)
             .as_any()
             .and_then(|a| a.downcast_ref::<MptcpSenderAgent>())
+            // simlint: allow(unwrap, reason = "agent installed as MptcpSenderAgent earlier in this fn")
             .expect("sender agent");
         let subflow_stats: Vec<tcpsim::SenderStats> = (0..sender.subflow_count())
             .map(|i| *sender.subflow_sender(i).stats())
@@ -221,6 +279,7 @@ impl Scenario {
             .agent(receiver_id)
             .as_any()
             .and_then(|a| a.downcast_ref::<MptcpReceiverAgent>())
+            // simlint: allow(unwrap, reason = "agent installed as MptcpReceiverAgent earlier in this fn")
             .expect("receiver agent");
 
         RunResult {
@@ -234,6 +293,7 @@ impl Scenario {
             data_delivered: receiver.data_delivered(),
             duplicate_bytes: receiver.stats().duplicate_bytes,
             subflow_stats,
+            trace_hash,
         }
     }
 }
@@ -261,6 +321,10 @@ pub struct RunResult {
     pub duplicate_bytes: u64,
     /// Per-subflow TCP statistics, in subflow (default-first) order.
     pub subflow_stats: Vec<tcpsim::SenderStats>,
+    /// Order-sensitive digest of the run's capture stream
+    /// ([`simtrace::TraceHasher`]). Equal scenarios + seeds must yield equal
+    /// hashes; see [`crate::determinism`].
+    pub trace_hash: u64,
 }
 
 impl RunResult {
@@ -306,7 +370,11 @@ mod tests {
             result.steady_total_mbps(),
             result.lp.total_mbps
         );
-        assert!(result.is_physically_consistent(2.0), "{:?}", result.per_path_steady_mbps);
+        assert!(
+            result.is_physically_consistent(2.0),
+            "{:?}",
+            result.per_path_steady_mbps
+        );
         assert!(result.drops > 0, "loss-based CC needs losses");
     }
 

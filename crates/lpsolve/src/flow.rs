@@ -34,7 +34,10 @@ pub struct MaxThroughput {
 /// by at least one path. Links used by a single path become that path's raw
 /// capacity bound; links shared by several paths are exactly the paper's
 /// coupling constraints.
-pub fn max_throughput_lp(topo: &Topology, paths: &[Path]) -> (LinearProgram, Vec<(LinkId, Vec<usize>, Bandwidth)>) {
+pub fn max_throughput_lp(
+    topo: &Topology,
+    paths: &[Path],
+) -> (LinearProgram, Vec<(LinkId, Vec<usize>, Bandwidth)>) {
     let mut lp = LinearProgram::new();
     for (i, _) in paths.iter().enumerate() {
         lp.add_var(format!("x{}", i + 1), 1.0);
@@ -115,10 +118,13 @@ impl MaxThroughput {
     /// *not* the LP optimum.
     pub fn greedy_fill(topo: &Topology, paths: &[Path], order: &[usize]) -> Vec<f64> {
         assert_eq!(order.len(), paths.len());
-        let mut residual: std::collections::HashMap<LinkId, f64> = std::collections::HashMap::new();
+        let mut residual: std::collections::BTreeMap<LinkId, f64> =
+            std::collections::BTreeMap::new();
         for p in paths {
             for &l in p.links() {
-                residual.entry(l).or_insert_with(|| topo.link(l).capacity.as_mbps_f64());
+                residual
+                    .entry(l)
+                    .or_insert_with(|| topo.link(l).capacity.as_mbps_f64());
             }
         }
         let mut rates = vec![0.0; paths.len()];
@@ -131,7 +137,9 @@ impl MaxThroughput {
             let take = room.max(0.0);
             rates[i] = take;
             for l in paths[i].links() {
-                *residual.get_mut(l).unwrap() -= take;
+                if let Some(r) = residual.get_mut(l) {
+                    *r -= take;
+                }
             }
         }
         rates
@@ -164,12 +172,12 @@ mod tests {
         let bw = Bandwidth::from_mbps;
         let ms = SimDuration::from_millis;
         let q = QueueConfig::default;
-        t.add_link(s, v1, bw(40), ms(1), q());   // shared by paths 1,2
+        t.add_link(s, v1, bw(40), ms(1), q()); // shared by paths 1,2
         t.add_link(v1, v4, bw(100), ms(1), q());
-        t.add_link(v4, v2, bw(60), ms(1), q());  // shared by paths 1,3
+        t.add_link(v4, v2, bw(60), ms(1), q()); // shared by paths 1,3
         t.add_link(v2, d, bw(100), ms(1), q());
         t.add_link(v1, v3, bw(100), ms(1), q());
-        t.add_link(v3, d, bw(80), ms(1), q());   // shared by paths 2,3
+        t.add_link(v3, d, bw(80), ms(1), q()); // shared by paths 2,3
         t.add_link(s, v4, bw(100), ms(1), q());
         t.add_link(v2, v3, bw(100), ms(1), q());
         let p1 = Path::from_nodes(&t, &[s, v1, v4, v2, d]).unwrap();
@@ -182,8 +190,16 @@ mod tests {
     fn paper_lp_reproduces_figure_1c() {
         let (t, paths) = paper_network();
         let sol = solve_max_throughput(&t, &paths);
-        assert!((sol.total_mbps - 90.0).abs() < 1e-6, "total {}", sol.total_mbps);
-        assert!((sol.per_path_mbps[0] - 10.0).abs() < 1e-6, "{:?}", sol.per_path_mbps);
+        assert!(
+            (sol.total_mbps - 90.0).abs() < 1e-6,
+            "total {}",
+            sol.total_mbps
+        );
+        assert!(
+            (sol.per_path_mbps[0] - 10.0).abs() < 1e-6,
+            "{:?}",
+            sol.per_path_mbps
+        );
         assert!((sol.per_path_mbps[1] - 30.0).abs() < 1e-6);
         assert!((sol.per_path_mbps[2] - 50.0).abs() < 1e-6);
         // All three pairwise bottlenecks are tight.
@@ -197,7 +213,11 @@ mod tests {
         // Greedy starting with Path 2 (the default shortest path).
         let greedy = MaxThroughput::greedy_fill(&t, &paths, &[1, 0, 2]);
         let greedy_total: f64 = greedy.iter().sum();
-        assert!(greedy_total < sol.total_mbps - 5.0, "greedy {greedy_total} vs opt {}", sol.total_mbps);
+        assert!(
+            greedy_total < sol.total_mbps - 5.0,
+            "greedy {greedy_total} vs opt {}",
+            sol.total_mbps
+        );
         // Specifically: x2 = 40 exhausts s-v1, x1 = 0, x3 = min(60, 40) = 40.
         assert!((greedy[1] - 40.0).abs() < 1e-9);
         assert!((greedy[0] - 0.0).abs() < 1e-9);
@@ -209,8 +229,12 @@ mod tests {
     #[test]
     fn greedy_order_matters() {
         let (t, paths) = paper_network();
-        let g1: f64 = MaxThroughput::greedy_fill(&t, &paths, &[0, 1, 2]).iter().sum();
-        let g2: f64 = MaxThroughput::greedy_fill(&t, &paths, &[2, 1, 0]).iter().sum();
+        let g1: f64 = MaxThroughput::greedy_fill(&t, &paths, &[0, 1, 2])
+            .iter()
+            .sum();
+        let g2: f64 = MaxThroughput::greedy_fill(&t, &paths, &[2, 1, 0])
+            .iter()
+            .sum();
         // Different orders give different Pareto corners; none beats 90.
         assert!(g1 <= 90.0 + 1e-9);
         assert!(g2 <= 90.0 + 1e-9);
@@ -254,8 +278,20 @@ mod tests {
         let s = t.add_node("s");
         let m = t.add_node("m");
         let d = t.add_node("d");
-        t.add_link(s, m, Bandwidth::from_mbps(100), SimDuration::ZERO, QueueConfig::default());
-        t.add_link(m, d, Bandwidth::from_mbps(35), SimDuration::ZERO, QueueConfig::default());
+        t.add_link(
+            s,
+            m,
+            Bandwidth::from_mbps(100),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
+        t.add_link(
+            m,
+            d,
+            Bandwidth::from_mbps(35),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
         let p = Path::from_nodes(&t, &[s, m, d]).unwrap();
         let sol = solve_max_throughput(&t, &[p]);
         assert!((sol.total_mbps - 35.0).abs() < 1e-6);
@@ -280,7 +316,10 @@ mod tests {
         let p1 = Path::from_nodes(&t, &[s, m, a, d]).unwrap();
         let p2 = Path::from_nodes(&t, &[s, m, b, d]).unwrap();
         let sol = solve_max_throughput(&t, &[p1, p2]);
-        assert!((sol.total_mbps - 10.0).abs() < 1e-6, "MPTCP gains nothing here");
+        assert!(
+            (sol.total_mbps - 10.0).abs() < 1e-6,
+            "MPTCP gains nothing here"
+        );
     }
 
     #[test]
@@ -312,7 +351,13 @@ mod tests {
         let mut t = Topology::new();
         let s = t.add_node("s");
         let d = t.add_node("d");
-        let l = t.add_link(s, d, Bandwidth::from_mbps(10), SimDuration::ZERO, QueueConfig::default());
+        let l = t.add_link(
+            s,
+            d,
+            Bandwidth::from_mbps(10),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
         let p = Path::from_nodes(&t, &[s, d]).unwrap();
         let sol = solve_max_throughput(&t, &[p]);
         let prices = sol.shadow_prices();

@@ -44,8 +44,12 @@ mod proptests {
             lp.add_constraint(format!("box{i}"), &[(i, 1.0)], Sense::Le, 100.0);
         }
         for (ri, (mask, cap)) in rows.into_iter().enumerate() {
-            let terms: Vec<(usize, f64)> =
-                mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| (i, 1.0)).collect();
+            let terms: Vec<(usize, f64)> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| (i, 1.0))
+                .collect();
             if !terms.is_empty() {
                 lp.add_constraint(format!("c{ri}"), &terms, Sense::Le, cap as f64 % 97.0 + 1.0);
             }

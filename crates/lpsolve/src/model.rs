@@ -83,7 +83,12 @@ impl LinearProgram {
             assert!(c.is_finite());
             coeffs[v] += c;
         }
-        self.constraints.push(Constraint { coeffs, sense, rhs, label: label.into() });
+        self.constraints.push(Constraint {
+            coeffs,
+            sense,
+            rhs,
+            label: label.into(),
+        });
         self.constraints.len() - 1
     }
 
@@ -166,6 +171,7 @@ impl fmt::Display for LinearProgram {
             write!(f, "  [{}] ", c.label)?;
             let mut first = true;
             for (i, &a) in c.coeffs.iter().enumerate() {
+                // simlint: allow(float-eq, reason = "Display-only: hide exactly-zero coefficients")
                 if a == 0.0 {
                     continue;
                 }
@@ -173,6 +179,7 @@ impl fmt::Display for LinearProgram {
                     write!(f, " + ")?;
                 }
                 first = false;
+                // simlint: allow(float-eq, reason = "Display-only: elide the unit coefficient")
                 if a == 1.0 {
                     write!(f, "{}", self.var_names[i])?;
                 } else {
@@ -226,7 +233,10 @@ mod tests {
         let lp = paper_lp();
         let x = [10.0, 30.0, 50.0];
         for i in 0..3 {
-            assert!(lp.slack(i, &x).abs() < 1e-9, "constraint {i} should be tight");
+            assert!(
+                lp.slack(i, &x).abs() < 1e-9,
+                "constraint {i} should be tight"
+            );
         }
         let x = [0.0, 0.0, 0.0];
         assert_eq!(lp.slack(0, &x), 40.0);

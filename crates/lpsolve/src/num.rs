@@ -98,12 +98,18 @@ impl Rational {
         assert!(den != 0, "zero denominator");
         let g = gcd(num, den).max(1);
         let sign = if den < 0 { -1 } else { 1 };
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// An integer as a rational.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (canonical form).
@@ -136,8 +142,8 @@ impl fmt::Display for Rational {
 impl PartialOrd for Rational {
     fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
         // Cross-multiply; denominators are positive in canonical form.
-        let lhs = self.num.checked_mul(o.den).expect("rational overflow");
-        let rhs = o.num.checked_mul(self.den).expect("rational overflow");
+        let lhs = self.num.checked_mul(o.den).expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
+        let rhs = o.num.checked_mul(self.den).expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
         lhs.partial_cmp(&rhs)
     }
 }
@@ -154,8 +160,8 @@ impl LpNum for Rational {
             .num
             .checked_mul(o.den)
             .and_then(|a| o.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
-            .expect("rational overflow");
-        let den = self.den.checked_mul(o.den).expect("rational overflow");
+            .expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
+        let den = self.den.checked_mul(o.den).expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
         Rational::new(num, den)
     }
     fn sub(&self, o: &Self) -> Self {
@@ -165,8 +171,12 @@ impl LpNum for Rational {
         // Cross-reduce first to keep magnitudes small.
         let g1 = gcd(self.num, o.den).max(1);
         let g2 = gcd(o.num, self.den).max(1);
-        let num = (self.num / g1).checked_mul(o.num / g2).expect("rational overflow");
-        let den = (self.den / g2).checked_mul(o.den / g1).expect("rational overflow");
+        let num = (self.num / g1)
+            .checked_mul(o.num / g2)
+            .expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
+        let den = (self.den / g2)
+            .checked_mul(o.den / g1)
+            .expect("rational overflow"); // simlint: allow(unwrap, reason = "exact arithmetic cannot continue after overflow; fail loudly")
         Rational::new(num, den)
     }
     fn div(&self, o: &Self) -> Self {
@@ -174,7 +184,10 @@ impl LpNum for Rational {
         self.mul(&Rational::new(o.den, o.num))
     }
     fn neg(&self) -> Self {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
     fn gt_zero(&self) -> bool {
         self.num > 0

@@ -134,8 +134,9 @@ pub fn solve<T: LpNum>(lp: &LinearProgram) -> LpOutcome<T> {
     for (i, c) in lp.constraints().iter().enumerate() {
         let needs_art = match c.sense {
             Sense::Le => c.rhs < 0.0,
-            Sense::Ge => c.rhs >= 0.0 || true, // after normalization may flip; decide below
-            Sense::Eq => true,
+            // Ge rows always need one: after sign normalization the surplus
+            // column has the wrong sign to serve as a starting basis.
+            Sense::Ge | Sense::Eq => true,
         };
         if needs_art {
             art_col[i] = Some(n);
@@ -193,7 +194,7 @@ pub fn solve<T: LpNum>(lp: &LinearProgram) -> LpOutcome<T> {
     let n = next_art; // final column count
     for (i, row) in rows.iter_mut().enumerate() {
         // Resize row to n+1, moving the RHS into the last slot.
-        let rhs = row.pop().unwrap();
+        let rhs = row.pop().unwrap_or_else(T::zero); // every row carries an RHS
         row.resize(n, T::zero());
         row.push(rhs);
         if let Some(ac) = art_col[i] {
@@ -202,7 +203,12 @@ pub fn solve<T: LpNum>(lp: &LinearProgram) -> LpOutcome<T> {
         }
     }
 
-    let mut tab = Tableau { rows, obj: vec![T::zero(); n + 1], basis, n };
+    let mut tab = Tableau {
+        rows,
+        obj: vec![T::zero(); n + 1],
+        basis,
+        n,
+    };
 
     // Phase 1: maximize -(sum of artificials).
     if (art_start..n).next().is_some() {
@@ -288,7 +294,10 @@ mod tests {
     fn assert_optimal_f64(lp: &LinearProgram, want_obj: f64, want_x: Option<&[f64]>) {
         match solve::<f64>(lp) {
             LpOutcome::Optimal { objective, x } => {
-                assert!((objective - want_obj).abs() < 1e-6, "objective {objective} != {want_obj}");
+                assert!(
+                    (objective - want_obj).abs() < 1e-6,
+                    "objective {objective} != {want_obj}"
+                );
                 assert!(lp.is_feasible(&x, 1e-6), "solution infeasible: {x:?}");
                 if let Some(w) = want_x {
                     for (a, b) in x.iter().zip(w) {
@@ -314,11 +323,14 @@ mod tests {
         match solve::<Rational>(&lp) {
             LpOutcome::Optimal { objective, x } => {
                 assert_eq!(objective, Rational::from_int(90));
-                assert_eq!(x, vec![
-                    Rational::from_int(10),
-                    Rational::from_int(30),
-                    Rational::from_int(50)
-                ]);
+                assert_eq!(
+                    x,
+                    vec![
+                        Rational::from_int(10),
+                        Rational::from_int(30),
+                        Rational::from_int(50)
+                    ]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -409,7 +421,9 @@ mod tests {
         // A classic worst case for naive pivoting; Bland's rule must
         // terminate and find 10^3-ish optimum.
         let mut lp = LinearProgram::new();
-        let xs: Vec<usize> = (0..3).map(|i| lp.add_var(format!("x{i}"), 10f64.powi(2 - i))).collect();
+        let xs: Vec<usize> = (0..3)
+            .map(|i| lp.add_var(format!("x{i}"), 10f64.powi(2 - i)))
+            .collect();
         // Constraints: 2*sum_{j<i} 10^(i-j) x_j + x_i <= 100^i
         for i in 0..3 {
             let mut terms = Vec::new();
@@ -417,7 +431,12 @@ mod tests {
                 terms.push((xj, 2.0 * 10f64.powi((i - j) as i32)));
             }
             terms.push((xs[i], 1.0));
-            lp.add_constraint(format!("c{i}"), &terms, Sense::Le, 100f64.powi(i as i32 + 1));
+            lp.add_constraint(
+                format!("c{i}"),
+                &terms,
+                Sense::Le,
+                100f64.powi(i as i32 + 1),
+            );
         }
         match solve::<f64>(&lp) {
             LpOutcome::Optimal { objective, .. } => {

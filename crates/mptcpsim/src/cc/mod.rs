@@ -122,7 +122,10 @@ impl CoupleState {
 
     /// `max_p w_p / rtt_p²` (LIA's numerator).
     pub fn max_w_over_rtt2(&self) -> f64 {
-        self.subs.iter().map(|s| s.cwnd / (s.srtt * s.srtt)).fold(0.0, f64::max)
+        self.subs
+            .iter()
+            .map(|s| s.cwnd / (s.srtt * s.srtt))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -145,22 +148,23 @@ impl Coupling {
 
     /// Build the controller for the next subflow. Must be called in subflow
     /// id order (0, 1, 2, …).
-    pub fn make_cc(
-        &self,
-        algo: CcAlgo,
-        initial_cwnd: u64,
-        mss: u32,
-    ) -> Box<dyn CongestionControl> {
+    pub fn make_cc(&self, algo: CcAlgo, initial_cwnd: u64, mss: u32) -> Box<dyn CongestionControl> {
         let idx = {
             let mut st = self.state.borrow_mut();
             st.subs.push(SubState::new(initial_cwnd, mss));
             st.subs.len() - 1
         };
         match algo {
-            CcAlgo::Cubic => Box::new(Mirrored::new(Cubic::new(initial_cwnd, mss), self.state.clone(), idx)),
-            CcAlgo::RenoUncoupled => {
-                Box::new(Mirrored::new(Reno::new(initial_cwnd, mss), self.state.clone(), idx))
-            }
+            CcAlgo::Cubic => Box::new(Mirrored::new(
+                Cubic::new(initial_cwnd, mss),
+                self.state.clone(),
+                idx,
+            )),
+            CcAlgo::RenoUncoupled => Box::new(Mirrored::new(
+                Reno::new(initial_cwnd, mss),
+                self.state.clone(),
+                idx,
+            )),
             CcAlgo::WVegas => Box::new(wvegas::WVegasCc::new(self.state.clone(), idx, mss)),
             CcAlgo::Lia | CcAlgo::Olia | CcAlgo::Balia => Box::new(CoupledCc {
                 shared: self.state.clone(),
@@ -358,7 +362,10 @@ pub(crate) mod testutil {
 
     /// Build a coupling with `n` subflows in congestion avoidance, each with
     /// the given (cwnd_mss, rtt_ms).
-    pub fn coupled(algo: CcAlgo, subs: &[(f64, f64)]) -> (Coupling, Vec<Box<dyn CongestionControl>>) {
+    pub fn coupled(
+        algo: CcAlgo,
+        subs: &[(f64, f64)],
+    ) -> (Coupling, Vec<Box<dyn CongestionControl>>) {
         const MSS: u32 = 1460;
         let coupling = Coupling::new();
         let mut ccs = Vec::new();

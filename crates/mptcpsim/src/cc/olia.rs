@@ -103,16 +103,10 @@ mod tests {
         coupled(CcAlgo::Olia, subs).0
     }
 
-    /// Set the loss-interval estimates directly.
+    /// Set every subflow's loss-interval estimate via the crate-level
+    /// `#[cfg(test)]` accessor on `Coupling`.
     fn with_l(c: &super::super::Coupling, ls: &[f64]) {
-        // testutil gives us access through the Coupling's state() only for
-        // reading; mutate through make-shift interior access.
         for (i, &l) in ls.iter().enumerate() {
-            // SAFETY of design: single-threaded test.
-            let state_ptr = c.state();
-            drop(state_ptr);
-            // Use the public-for-crate field path via unsafe-free trick:
-            // Coupling exposes state() as Ref; we need RefMut. Add below.
             c.set_l_for_test(i, l);
         }
     }

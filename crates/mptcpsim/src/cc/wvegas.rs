@@ -53,7 +53,12 @@ impl WVegasCc {
     /// Create the controller for subflow `idx` (the shared entry must
     /// already exist).
     pub fn new(shared: Rc<RefCell<CoupleState>>, idx: usize, mss: u32) -> Self {
-        WVegasCc { shared, idx, mss, next_adjust: SimTime::ZERO }
+        WVegasCc {
+            shared,
+            idx,
+            mss,
+            next_adjust: SimTime::ZERO,
+        }
     }
 
     fn diff_packets(sub: &SubState, ctx: &AckContext) -> Option<f64> {

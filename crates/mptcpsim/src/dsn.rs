@@ -47,6 +47,8 @@ impl IntervalSet {
         if end <= self.next {
             return 0; // entirely old
         }
+        #[cfg(feature = "check")]
+        let prev_next = self.next;
         let mut start = start.max(self.next);
         let mut end = end;
         let mut new_bytes = end - start;
@@ -63,8 +65,11 @@ impl IntervalSet {
         }
         let overlapping: Vec<u64> = self.ranges.range(start..=end).map(|(&s, _)| s).collect();
         for s in overlapping {
-            let e = self.ranges.remove(&s).unwrap();
-            new_bytes = new_bytes.saturating_sub(e.min(end).saturating_sub(s.max(start)).min(e - s));
+            let Some(e) = self.ranges.remove(&s) else {
+                continue;
+            };
+            new_bytes =
+                new_bytes.saturating_sub(e.min(end).saturating_sub(s.max(start)).min(e - s));
             end = end.max(e);
         }
 
@@ -83,7 +88,32 @@ impl IntervalSet {
         } else {
             self.ranges.insert(start, end);
         }
+        #[cfg(feature = "check")]
+        self.check_invariants(prev_next);
         new_bytes
+    }
+
+    /// DSN reassembly invariants (`check` feature), verified after every
+    /// insertion: the delivered prefix is monotone (connection-level data
+    /// is never "un-delivered") and the buffered out-of-order ranges are
+    /// non-empty, pairwise disjoint, non-adjacent, and strictly above the
+    /// prefix — anything else means the merge logic corrupted the set.
+    #[cfg(feature = "check")]
+    fn check_invariants(&self, prev_next: u64) {
+        assert!(
+            self.next >= prev_next,
+            "DSN delivered prefix went backwards: {prev_next} -> {}",
+            self.next
+        );
+        let mut hi = self.next;
+        for (&s, &e) in &self.ranges {
+            assert!(e > s, "empty out-of-order range [{s},{e})");
+            assert!(
+                s > hi,
+                "range [{s},{e}) overlaps or touches prefix/previous range ending at {hi}"
+            );
+            hi = e;
+        }
     }
 
     /// True if `[start, end)` is fully contained (delivered or buffered).
@@ -176,7 +206,10 @@ impl MappingTable {
             Err(_) => panic!("offset {cur} not mapped"),
         };
         while cur < end {
-            let m = self.maps.get(idx).unwrap_or_else(|| panic!("range [{offset}, {end}) runs past mappings"));
+            let m = self
+                .maps
+                .get(idx)
+                .unwrap_or_else(|| panic!("range [{offset}, {end}) runs past mappings"));
             debug_assert!(m.subflow_start <= cur && cur < m.subflow_end());
             let piece_end = end.min(m.subflow_end());
             let dsn = m.dsn_start + (cur - m.subflow_start);
@@ -190,7 +223,9 @@ impl MappingTable {
     /// Drop mappings entirely below `acked_subflow_offset` (no longer
     /// needed for retransmission).
     pub fn prune(&mut self, acked_subflow_offset: u64) {
-        while self.low < self.maps.len() && self.maps[self.low].subflow_end() <= acked_subflow_offset {
+        while self.low < self.maps.len()
+            && self.maps[self.low].subflow_end() <= acked_subflow_offset
+        {
             self.low += 1;
         }
         // Physically compact occasionally to bound memory.
@@ -300,8 +335,16 @@ mod tests {
     #[test]
     fn mapping_contiguous_lookup() {
         let mut t = MappingTable::new();
-        t.push(Mapping { subflow_start: 0, dsn_start: 1000, len: 1460 });
-        t.push(Mapping { subflow_start: 1460, dsn_start: 5000, len: 1460 });
+        t.push(Mapping {
+            subflow_start: 0,
+            dsn_start: 1000,
+            len: 1460,
+        });
+        t.push(Mapping {
+            subflow_start: 1460,
+            dsn_start: 5000,
+            len: 1460,
+        });
         assert_eq!(t.mapped_end(), 2920);
         // Inside the first mapping.
         assert_eq!(t.lookup(0, 1460), vec![(1000, 1460)]);
@@ -314,7 +357,11 @@ mod tests {
     fn mapping_prune_keeps_needed() {
         let mut t = MappingTable::new();
         for i in 0..10u64 {
-            t.push(Mapping { subflow_start: i * 100, dsn_start: i * 1000, len: 100 });
+            t.push(Mapping {
+                subflow_start: i * 100,
+                dsn_start: i * 1000,
+                len: 100,
+            });
         }
         t.prune(450);
         assert_eq!(t.live_mappings(), 6); // [400,500) still needed
@@ -326,12 +373,34 @@ mod tests {
     #[test]
     fn live_after_clips_partial_mappings() {
         let mut t = MappingTable::new();
-        t.push(Mapping { subflow_start: 0, dsn_start: 100, len: 1000 });
-        t.push(Mapping { subflow_start: 1000, dsn_start: 5000, len: 500 });
+        t.push(Mapping {
+            subflow_start: 0,
+            dsn_start: 100,
+            len: 1000,
+        });
+        t.push(Mapping {
+            subflow_start: 1000,
+            dsn_start: 5000,
+            len: 500,
+        });
         let live: Vec<Mapping> = t.live_after(400).collect();
         assert_eq!(live.len(), 2);
-        assert_eq!(live[0], Mapping { subflow_start: 400, dsn_start: 500, len: 600 });
-        assert_eq!(live[1], Mapping { subflow_start: 1000, dsn_start: 5000, len: 500 });
+        assert_eq!(
+            live[0],
+            Mapping {
+                subflow_start: 400,
+                dsn_start: 500,
+                len: 600
+            }
+        );
+        assert_eq!(
+            live[1],
+            Mapping {
+                subflow_start: 1000,
+                dsn_start: 5000,
+                len: 500
+            }
+        );
         assert_eq!(t.live_after(1500).count(), 0);
     }
 
@@ -339,8 +408,16 @@ mod tests {
     #[should_panic(expected = "mapping gap")]
     fn mapping_rejects_gaps() {
         let mut t = MappingTable::new();
-        t.push(Mapping { subflow_start: 0, dsn_start: 0, len: 100 });
-        t.push(Mapping { subflow_start: 200, dsn_start: 100, len: 100 });
+        t.push(Mapping {
+            subflow_start: 0,
+            dsn_start: 0,
+            len: 100,
+        });
+        t.push(Mapping {
+            subflow_start: 200,
+            dsn_start: 100,
+            len: 100,
+        });
     }
 
     #[test]
@@ -356,13 +433,25 @@ mod tests {
         // range (the redundant scheduler), reassembled once.
         let mut t1 = MappingTable::new();
         let mut t2 = MappingTable::new();
-        t1.push(Mapping { subflow_start: 0, dsn_start: 0, len: 1000 });
-        t2.push(Mapping { subflow_start: 0, dsn_start: 0, len: 1000 });
+        t1.push(Mapping {
+            subflow_start: 0,
+            dsn_start: 0,
+            len: 1000,
+        });
+        t2.push(Mapping {
+            subflow_start: 0,
+            dsn_start: 0,
+            len: 1000,
+        });
         let mut conn = IntervalSet::new();
         let (d1, l1) = t1.lookup(0, 1000)[0];
         assert_eq!(conn.insert(d1, d1 + l1 as u64), 1000);
         let (d2, l2) = t2.lookup(0, 1000)[0];
-        assert_eq!(conn.insert(d2, d2 + l2 as u64), 0, "duplicate contributes nothing");
+        assert_eq!(
+            conn.insert(d2, d2 + l2 as u64),
+            0,
+            "duplicate contributes nothing"
+        );
         assert_eq!(conn.next_expected(), 1000);
     }
 }

@@ -25,9 +25,15 @@ pub mod sender_agent;
 
 pub use cc::{CcAlgo, CoupleState, CoupledCc, Coupling, SubState};
 pub use dsn::{IntervalSet, Mapping, MappingTable};
-pub use receiver_agent::{common_destination, install_subflows, MptcpReceiverAgent, MptcpReceiverStats};
-pub use scheduler::{Assignment, MinRtt, Redundant, RoundRobin, Scheduler, SchedulerKind, SubflowSnapshot};
-pub use sender_agent::{CwndSample, MptcpConfig, MptcpSenderAgent, MptcpSenderStats, SubflowConfig};
+pub use receiver_agent::{
+    common_destination, install_subflows, MptcpReceiverAgent, MptcpReceiverStats,
+};
+pub use scheduler::{
+    Assignment, MinRtt, Redundant, RoundRobin, Scheduler, SchedulerKind, SubflowSnapshot,
+};
+pub use sender_agent::{
+    CwndSample, MptcpConfig, MptcpSenderAgent, MptcpSenderStats, SubflowConfig,
+};
 
 #[cfg(test)]
 mod e2e_tests {
@@ -79,14 +85,29 @@ mod e2e_tests {
         let dst = common_destination(paths);
         let mut sim = Simulator::new(topo, rt, seed);
         sim.set_capture(CaptureConfig::receiver_side(dst));
-        let cfg = MptcpConfig { algo, scheduler, app, ..MptcpConfig::bulk(dst, subflows) };
+        let cfg = MptcpConfig {
+            algo,
+            scheduler,
+            app,
+            ..MptcpConfig::bulk(dst, subflows)
+        };
         let sender_id = sim.add_agent(src, Box::new(MptcpSenderAgent::new(cfg)), SimTime::ZERO);
         let receiver_id =
             sim.add_agent(dst, Box::new(MptcpReceiverAgent::default()), SimTime::ZERO);
-        Rig { sim, dst, sender_id, receiver_id }
+        Rig {
+            sim,
+            dst,
+            sender_id,
+            receiver_id,
+        }
     }
 
-    fn wire_mbps_by_tag(rig: &Simulator, dst: NodeId, from: SimTime, to: SimTime) -> Vec<(Tag, f64)> {
+    fn wire_mbps_by_tag(
+        rig: &Simulator,
+        dst: NodeId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<(Tag, f64)> {
         use std::collections::BTreeMap;
         let mut bytes: BTreeMap<Tag, u64> = BTreeMap::new();
         for c in rig.captures() {
@@ -100,13 +121,23 @@ mod e2e_tests {
             }
         }
         let secs = (to - from).as_secs_f64();
-        bytes.into_iter().map(|(t, b)| (t, b as f64 * 8.0 / secs / 1e6)).collect()
+        bytes
+            .into_iter()
+            .map(|(t, b)| (t, b as f64 * 8.0 / secs / 1e6))
+            .collect()
     }
 
     #[test]
     fn disjoint_paths_aggregate_both_capacities() {
         let (topo, paths) = disjoint_net();
-        let mut rig = build(topo, &paths, CcAlgo::Cubic, SchedulerKind::MinRtt, AppSource::Unlimited, 1);
+        let mut rig = build(
+            topo,
+            &paths,
+            CcAlgo::Cubic,
+            SchedulerKind::MinRtt,
+            AppSource::Unlimited,
+            1,
+        );
         let end = SimTime::from_secs(5);
         rig.sim.run_until(end);
         let rates = wire_mbps_by_tag(&rig.sim, rig.dst, SimTime::from_secs(2), end);
@@ -121,20 +152,37 @@ mod e2e_tests {
     #[test]
     fn lia_also_uses_both_disjoint_paths() {
         let (topo, paths) = disjoint_net();
-        let mut rig = build(topo, &paths, CcAlgo::Lia, SchedulerKind::MinRtt, AppSource::Unlimited, 2);
+        let mut rig = build(
+            topo,
+            &paths,
+            CcAlgo::Lia,
+            SchedulerKind::MinRtt,
+            AppSource::Unlimited,
+            2,
+        );
         let end = SimTime::from_secs(6);
         rig.sim.run_until(end);
         let rates = wire_mbps_by_tag(&rig.sim, rig.dst, SimTime::from_secs(3), end);
         let total: f64 = rates.iter().map(|(_, r)| r).sum();
         // LIA is less aggressive but must still beat the best single path.
-        assert!(total > 21.0, "LIA aggregate {total:.1} should beat best single path (20)");
+        assert!(
+            total > 21.0,
+            "LIA aggregate {total:.1} should beat best single path (20)"
+        );
     }
 
     #[test]
     fn olia_and_balia_run_without_collapse() {
         for (algo, seed) in [(CcAlgo::Olia, 3), (CcAlgo::Balia, 4)] {
             let (topo, paths) = disjoint_net();
-            let mut rig = build(topo, &paths, algo, SchedulerKind::MinRtt, AppSource::Unlimited, seed);
+            let mut rig = build(
+                topo,
+                &paths,
+                algo,
+                SchedulerKind::MinRtt,
+                AppSource::Unlimited,
+                seed,
+            );
             let end = SimTime::from_secs(6);
             rig.sim.run_until(end);
             let rates = wire_mbps_by_tag(&rig.sim, rig.dst, SimTime::from_secs(3), end);
@@ -163,7 +211,11 @@ mod e2e_tests {
             .unwrap()
             .downcast_ref::<MptcpReceiverAgent>()
             .unwrap();
-        assert_eq!(receiver.data_delivered(), total_bytes, "connection-level stream complete");
+        assert_eq!(
+            receiver.data_delivered(),
+            total_bytes,
+            "connection-level stream complete"
+        );
         assert_eq!(receiver.reorder_buffer_bytes(), 0);
         let sender = rig
             .sim
@@ -199,7 +251,10 @@ mod e2e_tests {
             .unwrap();
         assert_eq!(receiver.data_delivered(), total_bytes);
         // Redundancy means duplicates arrived at connection level.
-        assert!(receiver.stats().duplicate_bytes > 0, "redundant copies expected");
+        assert!(
+            receiver.stats().duplicate_bytes > 0,
+            "redundant copies expected"
+        );
     }
 
     #[test]
@@ -233,7 +288,10 @@ mod e2e_tests {
         assert_eq!(rates.len(), 2);
         let (r1, r2) = (rates[0].1, rates[1].1);
         let ratio = r1.max(r2) / r1.min(r2).max(0.01);
-        assert!(ratio < 1.4, "round robin should split evenly: {r1:.1} vs {r2:.1}");
+        assert!(
+            ratio < 1.4,
+            "round robin should split evenly: {r1:.1} vs {r2:.1}"
+        );
     }
 
     #[test]
@@ -254,13 +312,23 @@ mod e2e_tests {
         t.add_link(b, d, Bandwidth::from_mbps(100), ms(1), q());
         let p1 = Path::from_nodes(&t, &[s, m, a, d]).unwrap();
         let p2 = Path::from_nodes(&t, &[s, m, b, d]).unwrap();
-        let mut rig = build(t, &[p1, p2], CcAlgo::Lia, SchedulerKind::MinRtt, AppSource::Unlimited, 8);
+        let mut rig = build(
+            t,
+            &[p1, p2],
+            CcAlgo::Lia,
+            SchedulerKind::MinRtt,
+            AppSource::Unlimited,
+            8,
+        );
         let end = SimTime::from_secs(5);
         rig.sim.run_until(end);
         let rates = wire_mbps_by_tag(&rig.sim, rig.dst, SimTime::from_secs(2), end);
         let total: f64 = rates.iter().map(|(_, r)| r).sum();
         assert!(total > 8.0, "bottleneck underused: {total:.1}");
-        assert!(total <= 10.2, "cannot beat the shared bottleneck: {total:.1}");
+        assert!(
+            total <= 10.2,
+            "cannot beat the shared bottleneck: {total:.1}"
+        );
     }
 
     #[test]
@@ -278,7 +346,8 @@ mod e2e_tests {
             AppSource::Fixed(total_bytes),
             9,
         );
-        rig.sim.schedule_link_down(dead_link, SimTime::from_millis(500));
+        rig.sim
+            .schedule_link_down(dead_link, SimTime::from_millis(500));
         rig.sim.run_until(SimTime::from_secs(60));
 
         let receiver = rig
@@ -288,7 +357,11 @@ mod e2e_tests {
             .unwrap()
             .downcast_ref::<MptcpReceiverAgent>()
             .unwrap();
-        assert_eq!(receiver.data_delivered(), total_bytes, "stream must survive the failure");
+        assert_eq!(
+            receiver.data_delivered(),
+            total_bytes,
+            "stream must survive the failure"
+        );
         let sender = rig
             .sim
             .agent(rig.sender_id)
@@ -316,21 +389,36 @@ mod e2e_tests {
             AppSource::Unlimited,
             10,
         );
-        rig.sim.schedule_link_down(dead_link, SimTime::from_millis(500));
+        rig.sim
+            .schedule_link_down(dead_link, SimTime::from_millis(500));
         rig.sim.schedule_link_up(dead_link, SimTime::from_secs(2));
         rig.sim.run_until(SimTime::from_secs(8));
-        let rates = wire_mbps_by_tag(&rig.sim, rig.dst, SimTime::from_secs(5), SimTime::from_secs(8));
+        let rates = wire_mbps_by_tag(
+            &rig.sim,
+            rig.dst,
+            SimTime::from_secs(5),
+            SimTime::from_secs(8),
+        );
         // Both tags carry meaningful traffic in the final window.
         assert_eq!(rates.len(), 2, "{rates:?}");
-        assert!(rates.iter().all(|(_, r)| *r > 2.0), "both paths should recover: {rates:?}");
+        assert!(
+            rates.iter().all(|(_, r)| *r > 2.0),
+            "both paths should recover: {rates:?}"
+        );
     }
 
     #[test]
     fn determinism_across_runs() {
         fn run(seed: u64) -> (u64, u64, u64) {
             let (topo, paths) = disjoint_net();
-            let mut rig =
-                build(topo, &paths, CcAlgo::Olia, SchedulerKind::MinRtt, AppSource::Unlimited, seed);
+            let mut rig = build(
+                topo,
+                &paths,
+                CcAlgo::Olia,
+                SchedulerKind::MinRtt,
+                AppSource::Unlimited,
+                seed,
+            );
             rig.sim.run_until(SimTime::from_secs(2));
             let st = rig.sim.stats();
             (st.packets_delivered, st.packets_dropped, st.events)
@@ -339,4 +427,3 @@ mod e2e_tests {
         assert_ne!(run(42).2, 0);
     }
 }
-

@@ -10,9 +10,9 @@
 use crate::dsn::IntervalSet;
 use netsim::{Agent, Ctx, NodeId, Packet, Protocol, Tag};
 use simbase::LogLevel;
+use std::collections::BTreeMap;
 use tcpsim::wire::{DssOption, TcpSegment};
 use tcpsim::{ReceiverConfig, TcpReceiver};
-use std::collections::HashMap;
 
 /// Connection-level receiver statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,8 +32,10 @@ pub struct MptcpReceiverAgent {
     window: u32,
     /// Generate SACK blocks on subflow ACKs.
     sack: bool,
-    /// Per-subflow receivers, keyed by the peer's source port.
-    subs: HashMap<u16, TcpReceiver>,
+    /// Per-subflow receivers, keyed by the peer's source port. BTreeMap:
+    /// any traversal (stats, teardown) must be in port order, never in a
+    /// per-process hash order (simlint: hash-iter).
+    subs: BTreeMap<u16, TcpReceiver>,
     /// Connection-level DSN reassembly.
     conn: IntervalSet,
     stats: MptcpReceiverStats,
@@ -51,7 +53,7 @@ impl MptcpReceiverAgent {
         MptcpReceiverAgent {
             window,
             sack: true,
-            subs: HashMap::new(),
+            subs: BTreeMap::new(),
             conn: IntervalSet::new(),
             stats: MptcpReceiverStats::default(),
         }
@@ -89,7 +91,12 @@ impl Agent for MptcpReceiverAgent {
         let seg = match TcpSegment::decode(&pkt.payload) {
             Ok(seg) => seg,
             Err(e) => {
-                ctx.log.log(ctx.now(), LogLevel::Warn, "mptcp.receiver", format!("bad segment: {e}"));
+                ctx.log.log(
+                    ctx.now(),
+                    LogLevel::Warn,
+                    "mptcp.receiver",
+                    format!("bad segment: {e}"),
+                );
                 return;
             }
         };
@@ -126,7 +133,14 @@ impl Agent for MptcpReceiverAgent {
             });
             // The data ACK competes with SACK blocks for option space.
             ack.trim_sack_to_fit();
-            ctx.send(pkt.src, pkt.tag, Protocol::Tcp, ack.encode(), 0, pkt.flow_hash);
+            ctx.send(
+                pkt.src,
+                pkt.tag,
+                Protocol::Tcp,
+                ack.encode(),
+                0,
+                pkt.flow_hash,
+            );
         }
     }
 
@@ -174,6 +188,9 @@ pub fn install_subflows(
 /// Convenience: the destination node of a path set (all paths must agree).
 pub fn common_destination(paths: &[netsim::Path]) -> NodeId {
     let dst = paths[0].dst();
-    assert!(paths.iter().all(|p| p.dst() == dst), "paths must share a destination");
+    assert!(
+        paths.iter().all(|p| p.dst() == dst),
+        "paths must share a destination"
+    );
     dst
 }

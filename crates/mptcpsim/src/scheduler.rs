@@ -57,6 +57,7 @@ impl Scheduler for MinRtt {
             .iter()
             .filter(|s| s.eligible)
             .min_by_key(|s| (s.srtt.unwrap_or(SimDuration::MAX), s.idx))
+            // simlint: allow(unwrap, reason = "Scheduler trait contract: callers pass >=1 eligible subflow")
             .expect("assign called with no eligible subflows");
         Assignment::One(best.idx)
     }
@@ -79,7 +80,11 @@ impl Scheduler for RoundRobin {
         let eligible: Vec<usize> = subs.iter().filter(|s| s.eligible).map(|s| s.idx).collect();
         let next = match self.last {
             None => eligible[0],
-            Some(last) => eligible.iter().copied().find(|&i| i > last).unwrap_or(eligible[0]),
+            Some(last) => eligible
+                .iter()
+                .copied()
+                .find(|&i| i > last)
+                .unwrap_or(eligible[0]),
         };
         self.last = Some(next);
         Assignment::One(next)

@@ -292,7 +292,11 @@ impl MptcpSenderAgent {
     fn allocate_chunk_to(&mut self, i: usize, dsn: u64, len: u64) {
         let sub = &mut self.subs[i];
         let sf_start = sub.sender.snd_nxt() + sub.sender.app_backlog();
-        sub.maps.push(Mapping { subflow_start: sf_start, dsn_start: dsn, len });
+        sub.maps.push(Mapping {
+            subflow_start: sf_start,
+            dsn_start: dsn,
+            len,
+        });
         sub.sender.push_app_data(len);
         self.stats.chunks_assigned += 1;
     }
@@ -302,10 +306,7 @@ impl MptcpSenderAgent {
     fn drain(&mut self, ctx: &mut Ctx<'_>) {
         for i in 0..self.subs.len() {
             let now = ctx.now();
-            loop {
-                let Some(tx) = self.subs[i].sender.poll_segment(now) else {
-                    break;
-                };
+            while let Some(tx) = self.subs[i].sender.poll_segment(now) {
                 let pieces = self.subs[i].maps.lookup(tx.offset, tx.len);
                 let mut done: u32 = 0;
                 let ecn = if self.cfg.ecn { Ecn::Ect } else { Ecn::NotEct };
@@ -372,7 +373,10 @@ impl MptcpSenderAgent {
                 }
             }
             if is_reinject {
-                let (rd, rl) = self.pending_reinject.pop_front().unwrap();
+                // is_reinject was derived from this queue being non-empty.
+                let Some((rd, rl)) = self.pending_reinject.pop_front() else {
+                    break;
+                };
                 if rl > chunk {
                     self.pending_reinject.push_front((rd + chunk, rl - chunk));
                 }
@@ -391,7 +395,7 @@ impl MptcpSenderAgent {
         for (i, sub) in self.subs.iter_mut().enumerate() {
             if let Some(t) = sub.sender.next_timer() {
                 let fire_at = t.max(ctx.now());
-                if sub.armed.map_or(true, |a| fire_at < a || a <= ctx.now()) {
+                if sub.armed.is_none_or(|a| fire_at < a || a <= ctx.now()) {
                     ctx.set_timer_at(fire_at, i as u64);
                     sub.armed = Some(fire_at);
                 }
@@ -417,8 +421,8 @@ impl Agent for MptcpSenderAgent {
             } else {
                 ctx.rng.next_below(self.cfg.join_jitter.as_nanos() + 1)
             };
-            let delay = self.cfg.join_delay.saturating_mul(i as u64)
-                + SimDuration::from_nanos(jitter_ns);
+            let delay =
+                self.cfg.join_delay.saturating_mul(i as u64) + SimDuration::from_nanos(jitter_ns);
             ctx.set_timer_after(delay, TOKEN_JOIN_BASE + i as u64);
         }
         if let Some(iv) = self.cfg.cwnd_trace_interval {
@@ -431,7 +435,12 @@ impl Agent for MptcpSenderAgent {
         let seg = match TcpSegment::decode(&pkt.payload) {
             Ok(seg) => seg,
             Err(e) => {
-                ctx.log.log(ctx.now(), LogLevel::Warn, "mptcp.sender", format!("bad segment: {e}"));
+                ctx.log.log(
+                    ctx.now(),
+                    LogLevel::Warn,
+                    "mptcp.sender",
+                    format!("bad segment: {e}"),
+                );
                 return;
             }
         };
@@ -439,7 +448,11 @@ impl Agent for MptcpSenderAgent {
             return;
         }
         // Demultiplex: the ACK's destination port is our subflow's port.
-        let Some(i) = self.subs.iter().position(|s| s.cfg.src_port == seg.dst_port) else {
+        let Some(i) = self
+            .subs
+            .iter()
+            .position(|s| s.cfg.src_port == seg.dst_port)
+        else {
             ctx.log.log(
                 ctx.now(),
                 LogLevel::Warn,
@@ -504,7 +517,11 @@ impl Agent for MptcpSenderAgent {
     }
 
     fn name(&self) -> String {
-        format!("mptcp.sender[{} subflows, {}]", self.subs.len(), self.cfg.algo.name())
+        format!(
+            "mptcp.sender[{} subflows, {}]",
+            self.subs.len(),
+            self.cfg.algo.name()
+        )
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -90,7 +90,15 @@ impl<'a> Ctx<'a> {
         effects: &'a mut Vec<Effect>,
         next_packet_id: &'a mut u64,
     ) -> Self {
-        Ctx { now, node, agent, rng, log, effects, next_packet_id }
+        Ctx {
+            now,
+            node,
+            agent,
+            rng,
+            log,
+            effects,
+            next_packet_id,
+        }
     }
 
     /// Current simulated time.
@@ -119,7 +127,15 @@ impl<'a> Ctx<'a> {
         data_len: u32,
         flow_hash: u64,
     ) -> u64 {
-        self.send_ecn(dst, tag, protocol, payload, data_len, flow_hash, Ecn::NotEct)
+        self.send_ecn(
+            dst,
+            tag,
+            protocol,
+            payload,
+            data_len,
+            flow_hash,
+            Ecn::NotEct,
+        )
     }
 
     /// Send a packet with an explicit ECN codepoint (ECN-capable senders
@@ -153,7 +169,10 @@ impl<'a> Ctx<'a> {
 
     /// Arm a one-shot timer `delay` from now, carrying `token`.
     pub fn set_timer_after(&mut self, delay: SimDuration, token: u64) {
-        self.effects.push(Effect::SetTimer { at: self.now + delay, token });
+        self.effects.push(Effect::SetTimer {
+            at: self.now + delay,
+            token,
+        });
     }
 
     /// Arm a one-shot timer at an absolute time (must not be in the past).

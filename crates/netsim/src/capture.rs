@@ -8,10 +8,10 @@
 
 use crate::packet::{LinkId, NodeId, PacketMeta};
 use simbase::SimTime;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What happened to the packet at the capture point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CaptureKind {
     /// A host agent handed the packet to the network.
     Sent,
@@ -44,9 +44,9 @@ pub struct CaptureRecord {
 #[derive(Debug, Clone)]
 pub struct CaptureConfig {
     /// Nodes to capture at; `None` = all nodes.
-    nodes: Option<HashSet<NodeId>>,
+    nodes: Option<BTreeSet<NodeId>>,
     /// Kinds to capture.
-    kinds: HashSet<CaptureKind>,
+    kinds: BTreeSet<CaptureKind>,
     /// Master switch.
     enabled: bool,
 }
@@ -55,7 +55,11 @@ impl Default for CaptureConfig {
     /// Disabled by default; enabling capture is an explicit choice because
     /// record volume scales with packet volume.
     fn default() -> Self {
-        CaptureConfig { nodes: None, kinds: HashSet::new(), enabled: false }
+        CaptureConfig {
+            nodes: None,
+            kinds: BTreeSet::new(),
+            enabled: false,
+        }
     }
 }
 
@@ -68,11 +72,15 @@ impl CaptureConfig {
     /// The paper's setup: record deliveries at the destination host (plus
     /// drops anywhere, which are cheap and invaluable for debugging).
     pub fn receiver_side(dst: NodeId) -> Self {
-        let mut kinds = HashSet::new();
+        let mut kinds = BTreeSet::new();
         kinds.insert(CaptureKind::Delivered);
         kinds.insert(CaptureKind::Dropped);
         kinds.insert(CaptureKind::Unroutable);
-        CaptureConfig { nodes: Some(HashSet::from([dst])), kinds, enabled: true }
+        CaptureConfig {
+            nodes: Some(BTreeSet::from([dst])),
+            kinds,
+            enabled: true,
+        }
     }
 
     /// Record every kind at every node (tests, small runs).
@@ -86,7 +94,11 @@ impl CaptureConfig {
         ]
         .into_iter()
         .collect();
-        CaptureConfig { nodes: None, kinds, enabled: true }
+        CaptureConfig {
+            nodes: None,
+            kinds,
+            enabled: true,
+        }
     }
 
     /// Also capture at `node` (clears the "all nodes" wildcard if present
@@ -97,7 +109,7 @@ impl CaptureConfig {
                 set.insert(node);
             }
             None => {
-                self.nodes = Some(HashSet::from([node]));
+                self.nodes = Some(BTreeSet::from([node]));
             }
         }
         self.enabled = true;
@@ -170,7 +182,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = CaptureConfig::off().add_node(NodeId(1)).add_kind(CaptureKind::Sent);
+        let c = CaptureConfig::off()
+            .add_node(NodeId(1))
+            .add_kind(CaptureKind::Sent);
         assert!(c.wants(NodeId(1), CaptureKind::Sent));
         assert!(!c.wants(NodeId(2), CaptureKind::Sent));
         assert!(!c.wants(NodeId(1), CaptureKind::Delivered));

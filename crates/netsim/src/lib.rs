@@ -37,13 +37,18 @@ pub mod traffic;
 pub use agent::{Agent, AgentId, Ctx, Effect};
 pub use capture::{CaptureConfig, CaptureKind, CaptureRecord};
 pub use packet::{Dir, Ecn, LinkId, NodeId, Packet, PacketMeta, Protocol, Tag, IP_HEADER_BYTES};
-pub use paths::{all_simple_paths, k_shortest_paths, shortest_path, Path, PathError, SharingAnalysis};
-pub use queue::{CoDel, CoDelConfig, Dequeued, DropReason, DropTail, EnqueueResult, Queue, QueueConfig, Red, RedConfig};
+pub use paths::{
+    all_simple_paths, k_shortest_paths, shortest_path, Path, PathError, SharingAnalysis,
+};
+pub use queue::{
+    CoDel, CoDelConfig, Dequeued, DropReason, DropTail, EnqueueResult, Queue, QueueConfig, Red,
+    RedConfig,
+};
 pub use routing::{Fib, RoutingTables};
 pub use sim::Simulator;
 pub use stats::{LinkDirStats, SimStats};
-pub use traffic::{CbrSource, DatagramSink, OnOffSource};
 pub use topology::{LinkSpec, NodeInfo, Topology};
+pub use traffic::{CbrSource, DatagramSink, OnOffSource};
 
 #[cfg(test)]
 mod sim_tests {
@@ -67,12 +72,26 @@ mod sim_tests {
             match self.pace {
                 None => {
                     for _ in 0..self.count {
-                        ctx.send(self.dst, self.tag, Protocol::Raw, Bytes::new(), self.data_len, 1);
+                        ctx.send(
+                            self.dst,
+                            self.tag,
+                            Protocol::Raw,
+                            Bytes::new(),
+                            self.data_len,
+                            1,
+                        );
                     }
                     self.sent = self.count;
                 }
                 Some(gap) => {
-                    ctx.send(self.dst, self.tag, Protocol::Raw, Bytes::new(), self.data_len, 1);
+                    ctx.send(
+                        self.dst,
+                        self.tag,
+                        Protocol::Raw,
+                        Bytes::new(),
+                        self.data_len,
+                        1,
+                    );
                     self.sent = 1;
                     if self.sent < self.count {
                         ctx.set_timer_after(gap, 0);
@@ -84,7 +103,14 @@ mod sim_tests {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
 
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-            ctx.send(self.dst, self.tag, Protocol::Raw, Bytes::new(), self.data_len, 1);
+            ctx.send(
+                self.dst,
+                self.tag,
+                Protocol::Raw,
+                Bytes::new(),
+                self.data_len,
+                1,
+            );
             self.sent += 1;
             if self.sent < self.count {
                 ctx.set_timer_after(self.pace.unwrap(), 0);
@@ -106,7 +132,11 @@ mod sim_tests {
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
     }
 
-    fn two_node_net(capacity: Bandwidth, delay: SimDuration, queue: QueueConfig) -> (Topology, NodeId, NodeId) {
+    fn two_node_net(
+        capacity: Bandwidth,
+        delay: SimDuration,
+        queue: QueueConfig,
+    ) -> (Topology, NodeId, NodeId) {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
@@ -128,10 +158,24 @@ mod sim_tests {
         let mut sim = Simulator::new(topo, rt, 1);
         sim.add_agent(
             a,
-            Box::new(Blaster { dst: b, tag: Tag::NONE, count: 1, data_len: 1000, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: b,
+                tag: Tag::NONE,
+                count: 1,
+                data_len: 1000,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
-        let sink = sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        let sink = sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
 
         assert_eq!(sim.stats().packets_delivered, 1);
@@ -154,10 +198,24 @@ mod sim_tests {
         let mut sim = Simulator::new(topo, rt, 1);
         sim.add_agent(
             a,
-            Box::new(Blaster { dst: b, tag: Tag::NONE, count: 10, data_len: 1000, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: b,
+                tag: Tag::NONE,
+                count: 10,
+                data_len: 1000,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
-        sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
         assert_eq!(sim.stats().packets_delivered, 10);
         assert_eq!(sim.now(), SimTime::from_nanos(10 * 8_160_000 + 5_000_000));
@@ -179,10 +237,24 @@ mod sim_tests {
         sim.set_capture(CaptureConfig::everything());
         sim.add_agent(
             a,
-            Box::new(Blaster { dst: b, tag: Tag::NONE, count: 10, data_len: 1000, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: b,
+                tag: Tag::NONE,
+                count: 10,
+                data_len: 1000,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
-        sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
 
         assert_eq!(sim.stats().packets_delivered, 5);
@@ -220,7 +292,14 @@ mod sim_tests {
             }),
             SimTime::ZERO,
         );
-        sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
         assert_eq!(sim.stats().packets_delivered, 20);
         assert_eq!(sim.stats().packets_dropped, 0);
@@ -235,10 +314,34 @@ mod sim_tests {
         let v = topo.add_node("v");
         let d = topo.add_node("d");
         let bw = Bandwidth::from_mbps(10);
-        topo.add_link(s, u, bw, SimDuration::from_millis(1), QueueConfig::default());
-        topo.add_link(u, d, bw, SimDuration::from_millis(1), QueueConfig::default());
-        topo.add_link(s, v, bw, SimDuration::from_millis(5), QueueConfig::default());
-        topo.add_link(v, d, bw, SimDuration::from_millis(5), QueueConfig::default());
+        topo.add_link(
+            s,
+            u,
+            bw,
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        topo.add_link(
+            u,
+            d,
+            bw,
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        topo.add_link(
+            s,
+            v,
+            bw,
+            SimDuration::from_millis(5),
+            QueueConfig::default(),
+        );
+        topo.add_link(
+            v,
+            d,
+            bw,
+            SimDuration::from_millis(5),
+            QueueConfig::default(),
+        );
         let via_v = Path::from_nodes(&topo, &[s, v, d]).unwrap();
         let mut rt = RoutingTables::new(&topo);
         rt.install_all_default_routes(&topo);
@@ -248,10 +351,24 @@ mod sim_tests {
         sim.set_capture(CaptureConfig::everything());
         sim.add_agent(
             s,
-            Box::new(Blaster { dst: d, tag: Tag(2), count: 1, data_len: 100, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: d,
+                tag: Tag(2),
+                count: 1,
+                data_len: 100,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
-        sim.add_agent(d, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        sim.add_agent(
+            d,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
 
         assert_eq!(sim.stats().packets_delivered, 1);
@@ -273,14 +390,33 @@ mod sim_tests {
         let a = topo.add_node("a");
         let b = topo.add_node("b");
         let c = topo.add_node("c");
-        topo.add_link(a, b, Bandwidth::from_mbps(1), SimDuration::from_millis(1), QueueConfig::default());
-        topo.add_link(b, c, Bandwidth::from_mbps(1), SimDuration::from_millis(1), QueueConfig::default());
+        topo.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        topo.add_link(
+            b,
+            c,
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
         // No routes installed at all: packets die at the source.
         let rt = RoutingTables::new(&topo);
         let mut sim = Simulator::new(topo, rt, 1);
         sim.add_agent(
             a,
-            Box::new(Blaster { dst: c, tag: Tag::NONE, count: 3, data_len: 10, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: c,
+                tag: Tag::NONE,
+                count: 3,
+                data_len: 10,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
         sim.run_to_completion();
@@ -301,10 +437,24 @@ mod sim_tests {
             let mut sim = Simulator::new(topo, rt, seed);
             sim.add_agent(
                 a,
-                Box::new(Blaster { dst: b, tag: Tag::NONE, count: 50, data_len: 1200, sent: 0, pace: None }),
+                Box::new(Blaster {
+                    dst: b,
+                    tag: Tag::NONE,
+                    count: 50,
+                    data_len: 1200,
+                    sent: 0,
+                    pace: None,
+                }),
                 SimTime::ZERO,
             );
-            sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+            sim.add_agent(
+                b,
+                Box::new(Sink {
+                    received: 0,
+                    last_at: SimTime::ZERO,
+                }),
+                SimTime::ZERO,
+            );
             sim.run_to_completion();
             (sim.stats().packets_delivered, sim.now(), sim.stats().events)
         }
@@ -323,10 +473,24 @@ mod sim_tests {
         let mut sim = Simulator::new(topo, rt, 1);
         sim.add_agent(
             a,
-            Box::new(Blaster { dst: b, tag: Tag::NONE, count: 10, data_len: 1000, sent: 0, pace: None }),
+            Box::new(Blaster {
+                dst: b,
+                tag: Tag::NONE,
+                count: 10,
+                data_len: 1000,
+                sent: 0,
+                pace: None,
+            }),
             SimTime::ZERO,
         );
-        sim.add_agent(b, Box::new(Sink { received: 0, last_at: SimTime::ZERO }), SimTime::ZERO);
+        sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
         // First arrival is at 13.16ms; stop before it.
         sim.run_until(SimTime::from_millis(10));
         assert_eq!(sim.now(), SimTime::from_millis(10));
@@ -365,8 +529,24 @@ mod sim_tests {
             }
             fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: u64) {}
         }
-        sim.add_agent(a, Box::new(Both { peer: b, n: 5, got: 0 }), SimTime::ZERO);
-        sim.add_agent(b, Box::new(Both { peer: a, n: 5, got: 0 }), SimTime::ZERO);
+        sim.add_agent(
+            a,
+            Box::new(Both {
+                peer: b,
+                n: 5,
+                got: 0,
+            }),
+            SimTime::ZERO,
+        );
+        sim.add_agent(
+            b,
+            Box::new(Both {
+                peer: a,
+                n: 5,
+                got: 0,
+            }),
+            SimTime::ZERO,
+        );
         sim.run_to_completion();
         assert_eq!(sim.stats().packets_delivered, 10);
         assert_eq!(sim.link_stats(LinkId(0), Dir::AtoB).tx_packets, 5);
@@ -407,7 +587,9 @@ mod proptests {
             ctx.send(self.dst, Tag::NONE, Protocol::Raw, Bytes::new(), size, 1);
             self.next += 1;
             if self.next < self.sends.len() {
-                let gap = self.sends[self.next].0.saturating_sub(self.sends[self.next - 1].0);
+                let gap = self.sends[self.next]
+                    .0
+                    .saturating_sub(self.sends[self.next - 1].0);
                 ctx.set_timer_after(SimDuration::from_micros(gap.max(1)), 0);
             }
         }

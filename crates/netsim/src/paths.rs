@@ -10,7 +10,7 @@
 use crate::packet::{LinkId, NodeId};
 use crate::topology::Topology;
 use simbase::{Bandwidth, SimDuration};
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::fmt;
 
 /// A simple (loop-free) walk from a source to a destination.
@@ -50,7 +50,7 @@ impl Path {
         if nodes.len() < 2 {
             return Err(PathError::TooShort);
         }
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for &n in nodes {
             if !seen.insert(n) {
                 return Err(PathError::NotSimple(n));
@@ -58,10 +58,15 @@ impl Path {
         }
         let mut links = Vec::with_capacity(nodes.len() - 1);
         for w in nodes.windows(2) {
-            let l = topo.link_between(w[0], w[1]).ok_or(PathError::NoLink(w[0], w[1]))?;
+            let l = topo
+                .link_between(w[0], w[1])
+                .ok_or(PathError::NoLink(w[0], w[1]))?;
             links.push(l);
         }
-        Ok(Path { nodes: nodes.to_vec(), links })
+        Ok(Path {
+            nodes: nodes.to_vec(),
+            links,
+        })
     }
 
     /// Build from explicit links (for multigraphs where `from_nodes` would
@@ -80,13 +85,16 @@ impl Path {
             cur = spec.other_end(cur);
             nodes.push(cur);
         }
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for &n in &nodes {
             if !seen.insert(n) {
                 return Err(PathError::NotSimple(n));
             }
         }
-        Ok(Path { nodes, links: links.to_vec() })
+        Ok(Path {
+            nodes,
+            links: links.to_vec(),
+        })
     }
 
     /// Source node.
@@ -96,7 +104,8 @@ impl Path {
 
     /// Destination node.
     pub fn dst(&self) -> NodeId {
-        *self.nodes.last().unwrap()
+        // A Path always has >= 2 nodes (enforced by both constructors).
+        self.nodes[self.nodes.len() - 1]
     }
 
     /// The node sequence.
@@ -126,8 +135,12 @@ impl Path {
 
     /// Links present in both paths, in this path's order.
     pub fn shared_links(&self, other: &Path) -> Vec<LinkId> {
-        let other_set: HashSet<LinkId> = other.links.iter().copied().collect();
-        self.links.iter().copied().filter(|l| other_set.contains(l)).collect()
+        let other_set: BTreeSet<LinkId> = other.links.iter().copied().collect();
+        self.links
+            .iter()
+            .copied()
+            .filter(|l| other_set.contains(l))
+            .collect()
     }
 
     /// True if the two paths have no link in common.
@@ -152,7 +165,7 @@ pub fn all_simple_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usi
     let mut out = Vec::new();
     let mut node_stack = vec![src];
     let mut link_stack: Vec<LinkId> = Vec::new();
-    let mut visited: HashSet<NodeId> = HashSet::from([src]);
+    let mut visited: BTreeSet<NodeId> = BTreeSet::from([src]);
 
     fn dfs(
         topo: &Topology,
@@ -160,12 +173,17 @@ pub fn all_simple_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usi
         max_hops: usize,
         node_stack: &mut Vec<NodeId>,
         link_stack: &mut Vec<LinkId>,
-        visited: &mut HashSet<NodeId>,
+        visited: &mut BTreeSet<NodeId>,
         out: &mut Vec<Path>,
     ) {
-        let cur = *node_stack.last().unwrap();
+        let Some(&cur) = node_stack.last() else {
+            return; // dfs is only entered with src already on the stack
+        };
         if cur == dst {
-            out.push(Path { nodes: node_stack.clone(), links: link_stack.clone() });
+            out.push(Path {
+                nodes: node_stack.clone(),
+                links: link_stack.clone(),
+            });
             return;
         }
         if link_stack.len() == max_hops {
@@ -185,14 +203,22 @@ pub fn all_simple_paths(topo: &Topology, src: NodeId, dst: NodeId, max_hops: usi
         }
     }
 
-    dfs(topo, dst, max_hops, &mut node_stack, &mut link_stack, &mut visited, &mut out);
+    dfs(
+        topo,
+        dst,
+        max_hops,
+        &mut node_stack,
+        &mut link_stack,
+        &mut visited,
+        &mut out,
+    );
     out
 }
 
 /// Dijkstra shortest path by cumulative delay, with deterministic
 /// tie-breaking (lower node id wins). Returns `None` if unreachable.
 pub fn shortest_path(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Path> {
-    shortest_path_avoiding(topo, src, dst, &HashSet::new(), &HashSet::new())
+    shortest_path_avoiding(topo, src, dst, &BTreeSet::new(), &BTreeSet::new())
 }
 
 /// Dijkstra that ignores a set of links and nodes (Yen's spur computation).
@@ -200,8 +226,8 @@ fn shortest_path_avoiding(
     topo: &Topology,
     src: NodeId,
     dst: NodeId,
-    banned_links: &HashSet<LinkId>,
-    banned_nodes: &HashSet<NodeId>,
+    banned_links: &BTreeSet<LinkId>,
+    banned_nodes: &BTreeSet<NodeId>,
 ) -> Option<Path> {
     #[derive(PartialEq, Eq)]
     struct Entry(u64, NodeId); // (dist_ns, node), min-heap via Reverse ordering
@@ -256,7 +282,9 @@ fn shortest_path_avoiding(
     let mut links = Vec::new();
     let mut cur = dst;
     while cur != src {
-        let (p, l) = prev[cur.0 as usize].expect("prev chain broken");
+        // dist[dst] < MAX guarantees an unbroken prev chain back to src;
+        // bail out rather than panic if that invariant is ever violated.
+        let (p, l) = prev[cur.0 as usize]?;
         nodes.push(p);
         links.push(l);
         cur = p;
@@ -278,13 +306,15 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
     let mut candidates: Vec<Path> = Vec::new();
 
     while result.len() < k {
-        let last = result.last().unwrap().clone();
+        let Some(last) = result.last().cloned() else {
+            break; // result starts non-empty; defensive for the lint contract
+        };
         for i in 0..last.links.len() {
             let spur_node = last.nodes[i];
             let root_nodes = &last.nodes[..=i];
             let root_links = &last.links[..i];
 
-            let mut banned_links = HashSet::new();
+            let mut banned_links = BTreeSet::new();
             for p in &result {
                 if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
                     if let Some(&l) = p.links.get(i) {
@@ -292,9 +322,11 @@ pub fn k_shortest_paths(topo: &Topology, src: NodeId, dst: NodeId, k: usize) -> 
                     }
                 }
             }
-            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeId> = root_nodes[..i].iter().copied().collect();
 
-            if let Some(spur) = shortest_path_avoiding(topo, spur_node, dst, &banned_links, &banned_nodes) {
+            if let Some(spur) =
+                shortest_path_avoiding(topo, spur_node, dst, &banned_links, &banned_nodes)
+            {
                 let mut nodes = root_nodes.to_vec();
                 nodes.extend_from_slice(&spur.nodes[1..]);
                 let mut links = root_links.to_vec();
@@ -330,17 +362,15 @@ pub struct SharingAnalysis {
 impl SharingAnalysis {
     /// Analyse a path set.
     pub fn new(paths: &[Path]) -> Self {
-        let mut map: HashMap<LinkId, Vec<usize>> = HashMap::new();
+        // BTreeMap so `into_iter` yields links in id order with no
+        // post-sort; path indices are pushed in increasing order already.
+        let mut map: BTreeMap<LinkId, Vec<usize>> = BTreeMap::new();
         for (i, p) in paths.iter().enumerate() {
             for &l in p.links() {
                 map.entry(l).or_default().push(i);
             }
         }
-        let mut link_users: Vec<(LinkId, Vec<usize>)> = map.into_iter().collect();
-        link_users.sort_by_key(|(l, _)| *l);
-        for (_, users) in &mut link_users {
-            users.sort_unstable();
-        }
+        let link_users: Vec<(LinkId, Vec<usize>)> = map.into_iter().collect();
         SharingAnalysis { link_users }
     }
 
@@ -353,7 +383,7 @@ impl SharingAnalysis {
     /// the tightest shared-link capacity — the coefficient of the paper's
     /// `x_i + x_j ≤ c` constraints.
     pub fn pairwise_bottlenecks(&self, topo: &Topology) -> Vec<(usize, usize, LinkId, Bandwidth)> {
-        let mut best: HashMap<(usize, usize), (LinkId, Bandwidth)> = HashMap::new();
+        let mut best: BTreeMap<(usize, usize), (LinkId, Bandwidth)> = BTreeMap::new();
         for (link, users) in self.shared() {
             let cap = topo.link(*link).capacity;
             for ai in 0..users.len() {
@@ -368,9 +398,10 @@ impl SharingAnalysis {
                 }
             }
         }
-        let mut out: Vec<_> = best.into_iter().map(|((i, j), (l, c))| (i, j, l, c)).collect();
-        out.sort_by_key(|&(i, j, _, _)| (i, j));
-        out
+        // BTreeMap iterates in (i, j) order: no sort needed.
+        best.into_iter()
+            .map(|((i, j), (l, c))| (i, j, l, c))
+            .collect()
     }
 }
 
@@ -416,7 +447,10 @@ mod tests {
         let v = t.node_by_name("v").unwrap();
         assert_eq!(Path::from_nodes(&t, &[s]), Err(PathError::TooShort));
         assert_eq!(Path::from_nodes(&t, &[u, v]), Err(PathError::NoLink(u, v)));
-        assert_eq!(Path::from_nodes(&t, &[s, u, s]), Err(PathError::NotSimple(s)));
+        assert_eq!(
+            Path::from_nodes(&t, &[s, u, s]),
+            Err(PathError::NotSimple(s))
+        );
     }
 
     #[test]

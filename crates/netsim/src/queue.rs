@@ -110,13 +110,23 @@ impl DropTail {
     /// Bound by packet count.
     pub fn packets(max_packets: usize) -> Self {
         assert!(max_packets > 0, "queue must hold at least one packet");
-        DropTail { buf: Default::default(), bytes: 0, max_packets, max_bytes: u64::MAX }
+        DropTail {
+            buf: Default::default(),
+            bytes: 0,
+            max_packets,
+            max_bytes: u64::MAX,
+        }
     }
 
     /// Bound by byte count.
     pub fn bytes(max_bytes: u64) -> Self {
         assert!(max_bytes > 0, "queue must hold at least one byte");
-        DropTail { buf: Default::default(), bytes: 0, max_packets: usize::MAX, max_bytes }
+        DropTail {
+            buf: Default::default(),
+            bytes: 0,
+            max_packets: usize::MAX,
+            max_bytes,
+        }
     }
 }
 
@@ -136,7 +146,10 @@ impl Queue for DropTail {
         if let Some(p) = &pkt {
             self.bytes -= p.wire_size() as u64;
         }
-        Dequeued { pkt, dropped: Vec::new() }
+        Dequeued {
+            pkt,
+            dropped: Vec::new(),
+        }
     }
 
     fn len_packets(&self) -> usize {
@@ -196,7 +209,12 @@ impl Red {
     pub fn new(cfg: RedConfig) -> Self {
         assert!(cfg.min_thresh < cfg.max_thresh, "RED thresholds inverted");
         assert!((0.0..=1.0).contains(&cfg.max_p), "max_p out of range");
-        Red { inner: DropTail::packets(cfg.max_packets), cfg, avg: 0.0, count: -1 }
+        Red {
+            inner: DropTail::packets(cfg.max_packets),
+            cfg,
+            avg: 0.0,
+            count: -1,
+        }
     }
 
     /// Current average-queue estimate (for tests/instrumentation).
@@ -209,7 +227,8 @@ impl Queue for Red {
     fn enqueue(&mut self, now: SimTime, mut pkt: Packet, rng: &mut dyn SimRng) -> EnqueueResult {
         let _ = now;
         // Update the EWMA of the instantaneous queue length.
-        self.avg = (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.inner.len_packets() as f64;
+        self.avg =
+            (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.inner.len_packets() as f64;
 
         // Decide whether the AQM wants to signal congestion on this packet.
         let mut signal = false;
@@ -313,7 +332,10 @@ impl CoDel {
     }
 
     fn control_law(&self, t: SimTime) -> SimTime {
-        t + self.cfg.interval.mul_f64(1.0 / (self.count.max(1) as f64).sqrt())
+        t + self
+            .cfg
+            .interval
+            .mul_f64(1.0 / (self.count.max(1) as f64).sqrt())
     }
 
     fn pop(&mut self) -> Option<(Packet, SimTime)> {
@@ -359,11 +381,13 @@ impl Queue for CoDel {
         let mut head = Some((pkt, enq));
 
         if self.dropping {
-            if !self.ok_to_drop(head.as_ref().unwrap().1, now) {
+            if !self.ok_to_drop(enq, now) {
                 self.dropping = false;
             } else {
                 while now >= self.drop_next && self.dropping {
-                    let (pkt, _) = head.take().unwrap();
+                    let Some((pkt, _)) = head.take() else {
+                        break; // unreachable: every continuing arm refills head
+                    };
                     dropped.push(pkt);
                     self.count += 1;
                     match self.pop() {
@@ -383,8 +407,9 @@ impl Queue for CoDel {
             }
         } else if self.ok_to_drop(enq, now) {
             // Enter the dropping state with one head drop.
-            let (pkt, _) = head.take().unwrap();
-            dropped.push(pkt);
+            if let Some((pkt, _)) = head.take() {
+                dropped.push(pkt);
+            }
             self.dropping = true;
             // RFC 8289: restart from a count related to the previous episode.
             self.count = if self.count > 2 { self.count - 2 } else { 1 };
@@ -392,7 +417,10 @@ impl Queue for CoDel {
             head = self.pop();
         }
 
-        Dequeued { pkt: head.map(|(p, _)| p), dropped }
+        Dequeued {
+            pkt: head.map(|(p, _)| p),
+            dropped,
+        }
     }
 
     fn len_packets(&self) -> usize {
@@ -430,9 +458,13 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(1);
         let mut q = DropTail::packets(10);
         for i in 0..5 {
-            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 100), &mut rng), EnqueueResult::Queued));
+            assert!(matches!(
+                q.enqueue(SimTime::ZERO, pkt(i, 100), &mut rng),
+                EnqueueResult::Queued
+            ));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(SimTime::ZERO).pkt.map(|p| p.id)).collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.dequeue(SimTime::ZERO).pkt.map(|p| p.id)).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }
 
@@ -441,7 +473,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(1);
         let mut q = DropTail::packets(3);
         for i in 0..3 {
-            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 0), &mut rng), EnqueueResult::Queued));
+            assert!(matches!(
+                q.enqueue(SimTime::ZERO, pkt(i, 0), &mut rng),
+                EnqueueResult::Queued
+            ));
         }
         assert!(matches!(
             q.enqueue(SimTime::ZERO, pkt(3, 0), &mut rng),
@@ -455,13 +490,25 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(1);
         // Each pkt: 20 (IP) + 0 (hdr) + 100 data = 120 wire bytes.
         let mut q = DropTail::bytes(300);
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(0, 100), &mut rng), EnqueueResult::Queued));
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(1, 100), &mut rng), EnqueueResult::Queued));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(0, 100), &mut rng),
+            EnqueueResult::Queued
+        ));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(1, 100), &mut rng),
+            EnqueueResult::Queued
+        ));
         assert_eq!(q.len_bytes(), 240);
         // Third packet would exceed 300 bytes.
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(2, 100), &mut rng), EnqueueResult::Dropped(_)));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(2, 100), &mut rng),
+            EnqueueResult::Dropped(_)
+        ));
         // But a tiny packet still fits (20 bytes wire).
-        assert!(matches!(q.enqueue(SimTime::ZERO, pkt(3, 0), &mut rng), EnqueueResult::Queued));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(3, 0), &mut rng),
+            EnqueueResult::Queued
+        ));
         assert_eq!(q.len_bytes(), 260);
     }
 
@@ -483,7 +530,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::new(5);
         let mut q = Red::new(RedConfig::default());
         for i in 0..4 {
-            assert!(matches!(q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng), EnqueueResult::Queued));
+            assert!(matches!(
+                q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng),
+                EnqueueResult::Queued
+            ));
             q.dequeue(SimTime::ZERO);
         }
         assert!(q.avg_queue() < 1.0);
@@ -525,7 +575,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "thresholds inverted")]
     fn red_validates_thresholds() {
-        let _ = Red::new(RedConfig { min_thresh: 10.0, max_thresh: 5.0, ..Default::default() });
+        let _ = Red::new(RedConfig {
+            min_thresh: 10.0,
+            max_thresh: 5.0,
+            ..Default::default()
+        });
     }
 
     fn stamped(id: u64) -> Packet {
@@ -539,7 +593,10 @@ mod tests {
         // Short sojourns: enqueue at t, dequeue 1 ms later (< 5 ms target).
         for i in 0..50u64 {
             let t = SimTime::from_millis(i * 2);
-            assert!(matches!(q.enqueue(t, stamped(i), &mut rng), EnqueueResult::Queued));
+            assert!(matches!(
+                q.enqueue(t, stamped(i), &mut rng),
+                EnqueueResult::Queued
+            ));
             let d = q.dequeue(t + SimDuration::from_millis(1));
             assert!(d.dropped.is_empty());
             assert_eq!(d.pkt.unwrap().id, i);
@@ -584,7 +641,7 @@ mod tests {
         let mut t = SimTime::from_millis(200);
         while !q.is_empty() {
             let _ = q.dequeue(t);
-            t = t + SimDuration::from_millis(5);
+            t += SimDuration::from_millis(5);
         }
         // Fresh, fast traffic afterwards is untouched.
         for i in 0..20u64 {
@@ -630,7 +687,9 @@ mod tests {
         for i in 0..40 {
             let mut p = pkt(i, 1000);
             p.ecn = Ecn::Ect;
-            if let EnqueueResult::Dropped(DropReason::EarlyDrop) = q.enqueue(SimTime::ZERO, p, &mut rng) {
+            if let EnqueueResult::Dropped(DropReason::EarlyDrop) =
+                q.enqueue(SimTime::ZERO, p, &mut rng)
+            {
                 dropped += 1;
             }
         }

@@ -17,14 +17,19 @@
 use crate::packet::{LinkId, NodeId, Packet, Tag};
 use crate::paths::{shortest_path, Path};
 use crate::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-node forwarding information base.
+///
+/// Backed by `BTreeMap` so that iteration (diagnostics, future dump/export)
+/// is in key order and the structure is deterministic across processes —
+/// `HashMap`'s per-process seed would make any traversal order a hidden
+/// source of nondeterminism (enforced by simlint's `hash-iter` rule).
 #[derive(Debug, Clone, Default)]
 pub struct Fib {
-    exact: HashMap<(NodeId, Tag), LinkId>,
-    default_route: HashMap<NodeId, LinkId>,
-    ecmp: HashMap<NodeId, Vec<LinkId>>,
+    exact: BTreeMap<(NodeId, Tag), LinkId>,
+    default_route: BTreeMap<NodeId, LinkId>,
+    ecmp: BTreeMap<NodeId, Vec<LinkId>>,
 }
 
 impl Fib {
@@ -81,7 +86,9 @@ pub struct RoutingTables {
 impl RoutingTables {
     /// One empty FIB per node.
     pub fn new(topo: &Topology) -> Self {
-        RoutingTables { fibs: vec![Fib::new(); topo.node_count()] }
+        RoutingTables {
+            fibs: vec![Fib::new(); topo.node_count()],
+        }
     }
 
     /// The FIB of `node`.
@@ -202,7 +209,10 @@ mod tests {
         let mut rt = RoutingTables::new(&t);
         rt.install_all_default_routes(&t);
         for from in [s, u, v] {
-            assert!(rt.fib(from).route(&pkt(d, Tag::NONE, 0)).is_some(), "{from:?} -> d missing");
+            assert!(
+                rt.fib(from).route(&pkt(d, Tag::NONE, 0)).is_some(),
+                "{from:?} -> d missing"
+            );
         }
         assert!(rt.fib(d).route(&pkt(s, Tag::NONE, 0)).is_some());
     }
@@ -212,7 +222,13 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        t.add_link(a, b, Bandwidth::from_mbps(1), SimDuration::ZERO, QueueConfig::default());
+        t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(1),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
         let rt = RoutingTables::new(&t);
         assert_eq!(rt.fib(a).route(&pkt(b, Tag::NONE, 0)), None);
     }
@@ -229,7 +245,10 @@ mod tests {
             assert_eq!(l1, l2, "same flow must hash to same member");
             counts[if l1 == LinkId(0) { 0 } else { 1 }] += 1;
         }
-        assert!(counts[0] > 20 && counts[1] > 20, "hash should spread: {counts:?}");
+        assert!(
+            counts[0] > 20 && counts[1] > 20,
+            "hash should spread: {counts:?}"
+        );
     }
 
     #[test]

@@ -97,14 +97,23 @@ impl Simulator {
                 let spec = topo.link(l);
                 LinkRuntime {
                     dirs: [
-                        DirState { transmitting: None, queue: spec.queue.build() },
-                        DirState { transmitting: None, queue: spec.queue.build() },
+                        DirState {
+                            transmitting: None,
+                            queue: spec.queue.build(),
+                        },
+                        DirState {
+                            transmitting: None,
+                            queue: spec.queue.build(),
+                        },
                     ],
                     up: true,
                 }
             })
             .collect();
-        let link_stats = topo.link_ids().map(|_| [LinkDirStats::default(); 2]).collect();
+        let link_stats = topo
+            .link_ids()
+            .map(|_| [LinkDirStats::default(); 2])
+            .collect();
         let node_agent = vec![None; topo.node_count()];
         Simulator {
             topo,
@@ -154,7 +163,10 @@ impl Simulator {
     /// Attach an agent to `node`, starting at `start`. One agent per node.
     pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>, start: SimTime) -> AgentId {
         assert!((node.0 as usize) < self.topo.node_count(), "unknown node");
-        assert!(self.node_agent[node.0 as usize].is_none(), "node {node:?} already has an agent");
+        assert!(
+            self.node_agent[node.0 as usize].is_none(),
+            "node {node:?} already has an agent"
+        );
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(Some(agent));
         self.agent_node.push(node);
@@ -206,7 +218,9 @@ impl Simulator {
     /// Borrow an agent back out of the simulator (after a run) to inspect
     /// endpoint state. Panics if the id is stale.
     pub fn agent(&self, id: AgentId) -> &dyn Agent {
-        self.agents[id.0 as usize].as_deref().expect("agent is being dispatched")
+        self.agents[id.0 as usize]
+            .as_deref()
+            .expect("agent is being dispatched") // simlint: allow(unwrap, reason = "documented API contract: stale AgentId is a caller bug")
     }
 
     /// Schedule an administrative link failure (both directions). Packets
@@ -239,18 +253,51 @@ impl Simulator {
             self.step();
         }
         self.now = self.now.max(deadline);
+        self.check_conservation();
     }
 
     /// Run until no events remain (terminating workloads only).
     pub fn run_to_completion(&mut self) {
         while self.step() {}
+        self.check_conservation();
     }
+
+    /// Packet conservation (`check` feature): everything sent must be
+    /// delivered, dropped, unroutable, or still sitting in a queue / on a
+    /// wire. A mismatch means the forwarding plane lost or duplicated a
+    /// packet without accounting for it.
+    #[cfg(feature = "check")]
+    fn check_conservation(&self) {
+        assert!(
+            self.stats.conserved(self.in_flight),
+            "packet conservation violated: sent={} delivered={} dropped={} unroutable={} in_flight={}",
+            self.stats.packets_sent,
+            self.stats.packets_delivered,
+            self.stats.packets_dropped,
+            self.stats.packets_unroutable,
+            self.in_flight,
+        );
+    }
+
+    #[cfg(not(feature = "check"))]
+    fn check_conservation(&self) {}
 
     /// Process a single event. Returns false if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.events.pop() else {
             return false;
         };
+        // Event-time monotonicity: a hard assert under the `check` feature
+        // (a backwards clock silently corrupts every downstream series),
+        // a debug assert otherwise.
+        #[cfg(feature = "check")]
+        assert!(
+            ev.time >= self.now,
+            "time went backwards: event at {} < now {}",
+            ev.time,
+            self.now
+        );
+        #[cfg(not(feature = "check"))]
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
         self.stats.events += 1;
@@ -272,14 +319,16 @@ impl Simulator {
             Event::LinkDown(link) => self.on_link_down(link),
             Event::LinkUp(link) => {
                 self.links[link.0 as usize].up = true;
-                self.log.log(self.now, LogLevel::Info, "sim", format!("{link:?} up"));
+                self.log
+                    .log(self.now, LogLevel::Info, "sim", format!("{link:?} up"));
             }
         }
         true
     }
 
     fn on_link_down(&mut self, link: LinkId) {
-        self.log.log(self.now, LogLevel::Info, "sim", format!("{link:?} down"));
+        self.log
+            .log(self.now, LogLevel::Info, "sim", format!("{link:?} down"));
         let rt = &mut self.links[link.0 as usize];
         rt.up = false;
         for dir in [Dir::AtoB, Dir::BtoA] {
@@ -314,7 +363,9 @@ impl Simulator {
     // ---- internals ----
 
     fn dispatch(&mut self, id: AgentId, call: AgentCall) {
-        let mut agent = self.agents[id.0 as usize].take().expect("re-entrant agent dispatch");
+        let mut agent = self.agents[id.0 as usize]
+            .take()
+            .expect("re-entrant agent dispatch"); // simlint: allow(unwrap, reason = "slot is only vacated inside this non-reentrant fn")
         let node = self.agent_node[id.0 as usize];
         let mut effects = Vec::new();
         {
@@ -347,6 +398,7 @@ impl Simulator {
                     self.handle_packet_at(node, pkt);
                 }
                 Effect::SetTimer { at, token } => {
+                    // simlint: allow(unwrap, reason = "effects originate from an agent installed at this node")
                     let agent = self.node_agent[node.0 as usize].expect("timer from unknown agent");
                     self.events.push(at, Event::Timer { agent, token });
                 }
@@ -416,7 +468,8 @@ impl Simulator {
         if !state.is_busy() {
             let tx_time = capacity.tx_time(pkt.wire_size() as u64);
             state.transmitting = Some(pkt);
-            self.events.push(self.now + tx_time, Event::TxDone { link, dir });
+            self.events
+                .push(self.now + tx_time, Event::TxDone { link, dir });
         } else {
             let meta = pkt.meta();
             match state.queue.enqueue(self.now, pkt, &mut self.rng) {
@@ -432,7 +485,10 @@ impl Simulator {
                         self.now,
                         LogLevel::Debug,
                         "sim",
-                        format!("drop({reason:?}) pkt#{} on {link:?}/{dir:?} at {from:?}", meta.id),
+                        format!(
+                            "drop({reason:?}) pkt#{} on {link:?}/{dir:?} at {from:?}",
+                            meta.id
+                        ),
                     );
                     if self.capture_cfg.wants(from, CaptureKind::Dropped) {
                         self.captures.push(CaptureRecord {
@@ -473,7 +529,8 @@ impl Simulator {
             SimDuration::from_nanos(self.rng.next_below(self.forward_jitter.as_nanos() + 1))
         };
         if !corrupted {
-            self.events.push(self.now + delay + jitter, Event::Arrive { link, dir, pkt });
+            self.events
+                .push(self.now + delay + jitter, Event::Arrive { link, dir, pkt });
         }
 
         // Start the next packet, if any (the AQM may head-drop on the way).
@@ -488,13 +545,20 @@ impl Simulator {
             let tx_time = capacity.tx_time(next.wire_size() as u64);
             let state = &mut self.links[link.0 as usize].dirs[dir.index()];
             state.transmitting = Some(next);
-            self.events.push(self.now + tx_time, Event::TxDone { link, dir });
+            self.events
+                .push(self.now + tx_time, Event::TxDone { link, dir });
         }
     }
 
     fn record(&mut self, node: NodeId, kind: CaptureKind, link: Option<LinkId>, pkt: &Packet) {
         if self.capture_cfg.wants(node, kind) {
-            self.captures.push(CaptureRecord { time: self.now, node, kind, link, pkt: pkt.meta() });
+            self.captures.push(CaptureRecord {
+                time: self.now,
+                node,
+                kind,
+                link,
+                pkt: pkt.meta(),
+            });
         }
     }
 }

@@ -5,8 +5,8 @@
 //! queues. They are cheap (a handful of integer adds per packet) and always
 //! on.
 
-use simbase::SimDuration;
 use serde::Serialize;
+use simbase::SimDuration;
 
 /// Counters for one direction of one link.
 #[derive(Debug, Clone, Copy, Default, Serialize)]

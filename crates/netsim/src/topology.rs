@@ -10,7 +10,7 @@
 use crate::packet::{LinkId, NodeId};
 use crate::queue::QueueConfig;
 use simbase::{Bandwidth, SimDuration};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Static description of one duplex link.
@@ -63,7 +63,9 @@ pub struct Topology {
     links: Vec<LinkSpec>,
     /// adjacency[n] = (neighbor, link) pairs, in insertion order.
     adj: Vec<Vec<(NodeId, LinkId)>>,
-    by_name: HashMap<String, NodeId>,
+    // BTreeMap: name lookups are deterministic to traverse and Topology
+    // stays free of per-process hash seeds (simlint: hash-iter).
+    by_name: BTreeMap<String, NodeId>,
 }
 
 impl Topology {
@@ -75,7 +77,10 @@ impl Topology {
     /// Add a node with a unique name.
     pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
         let name = name.into();
-        assert!(!self.by_name.contains_key(&name), "duplicate node name {name:?}");
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate node name {name:?}"
+        );
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
         self.nodes.push(NodeInfo { name });
@@ -97,7 +102,14 @@ impl Topology {
         assert!((b.0 as usize) < self.nodes.len(), "unknown node {b:?}");
         assert!(capacity.as_bps() > 0, "zero-capacity link");
         let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkSpec { a, b, capacity, delay, queue, loss_rate: 0.0 });
+        self.links.push(LinkSpec {
+            a,
+            b,
+            capacity,
+            delay,
+            queue,
+            loss_rate: 0.0,
+        });
         self.adj[a.0 as usize].push((b, id));
         self.adj[b.0 as usize].push((a, id));
         id
@@ -152,12 +164,17 @@ impl Topology {
 
     /// The first link between `a` and `b`, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adj[a.0 as usize].iter().find(|(nbr, _)| *nbr == b).map(|(_, l)| *l)
+        self.adj[a.0 as usize]
+            .iter()
+            .find(|(nbr, _)| *nbr == b)
+            .map(|(_, l)| *l)
     }
 
     /// Sum of one-way delays along a sequence of links.
     pub fn path_delay(&self, links: &[LinkId]) -> SimDuration {
-        links.iter().fold(SimDuration::ZERO, |acc, &l| acc + self.link(l).delay)
+        links
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &l| acc + self.link(l).delay)
     }
 
     /// The minimum capacity along a sequence of links (a path's raw
@@ -173,7 +190,12 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Topology: {} nodes, {} links", self.node_count(), self.link_count())?;
+        writeln!(
+            f,
+            "Topology: {} nodes, {} links",
+            self.node_count(),
+            self.link_count()
+        )?;
         for (i, l) in self.links.iter().enumerate() {
             writeln!(
                 f,
@@ -199,8 +221,20 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(a, b, Bandwidth::from_mbps(10), SimDuration::from_millis(1), QueueConfig::default());
-        t.add_link(b, c, Bandwidth::from_mbps(20), SimDuration::from_millis(2), QueueConfig::default());
+        t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        t.add_link(
+            b,
+            c,
+            Bandwidth::from_mbps(20),
+            SimDuration::from_millis(2),
+            QueueConfig::default(),
+        );
         (t, a, b, c)
     }
 
@@ -270,7 +304,13 @@ mod tests {
     fn self_loops_rejected() {
         let mut t = Topology::new();
         let a = t.add_node("a");
-        t.add_link(a, a, Bandwidth::from_mbps(1), SimDuration::ZERO, QueueConfig::default());
+        t.add_link(
+            a,
+            a,
+            Bandwidth::from_mbps(1),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
     }
 
     #[test]
@@ -293,8 +333,20 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        let l1 = t.add_link(a, b, Bandwidth::from_mbps(1), SimDuration::ZERO, QueueConfig::default());
-        let l2 = t.add_link(a, b, Bandwidth::from_mbps(2), SimDuration::ZERO, QueueConfig::default());
+        let l1 = t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(1),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
+        let l2 = t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(2),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
         assert_ne!(l1, l2);
         assert_eq!(t.neighbors(a).len(), 2);
     }

@@ -44,7 +44,14 @@ impl CbrSource {
     }
 
     fn emit(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send(self.dst, self.tag, Protocol::Raw, Bytes::new(), self.packet_bytes, self.flow_hash);
+        ctx.send(
+            self.dst,
+            self.tag,
+            Protocol::Raw,
+            Bytes::new(),
+            self.packet_bytes,
+            self.flow_hash,
+        );
         self.sent += 1;
         ctx.set_timer_after(self.interval, 0);
     }
@@ -140,19 +147,17 @@ impl Agent for OnOffSource {
                 self.on = !self.on;
                 self.schedule_period(ctx);
             }
-            TOKEN_SEND => {
-                if self.on && ctx.now() < self.period_ends {
-                    ctx.send(
-                        self.dst,
-                        self.tag,
-                        Protocol::Raw,
-                        Bytes::new(),
-                        self.packet_bytes,
-                        0xB0B0,
-                    );
-                    self.sent += 1;
-                    ctx.set_timer_after(self.interval, TOKEN_SEND);
-                }
+            TOKEN_SEND if self.on && ctx.now() < self.period_ends => {
+                ctx.send(
+                    self.dst,
+                    self.tag,
+                    Protocol::Raw,
+                    Bytes::new(),
+                    self.packet_bytes,
+                    0xB0B0,
+                );
+                self.sent += 1;
+                ctx.set_timer_after(self.interval, TOKEN_SEND);
             }
             _ => {}
         }
@@ -211,10 +216,19 @@ mod tests {
         let mut rt = RoutingTables::new(&topo);
         rt.install_all_default_routes(&topo);
         let mut sim = Simulator::new(topo, rt, 1);
-        sim.add_agent(a, Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)), SimTime::ZERO);
+        sim.add_agent(
+            a,
+            Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)),
+            SimTime::ZERO,
+        );
         let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(2));
-        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let sink = sim
+            .agent(sink)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<DatagramSink>()
+            .unwrap();
         let mbps = sink.bytes as f64 * 8.0 / 2.0 / 1e6;
         assert!((mbps - 10.0).abs() < 0.5, "CBR rate {mbps:.2}");
         assert_eq!(sim.stats().packets_dropped, 0);
@@ -226,10 +240,19 @@ mod tests {
         let mut rt = RoutingTables::new(&topo);
         rt.install_all_default_routes(&topo);
         let mut sim = Simulator::new(topo, rt, 1);
-        sim.add_agent(a, Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)), SimTime::ZERO);
+        sim.add_agent(
+            a,
+            Box::new(CbrSource::new(b, Tag::NONE, Bandwidth::from_mbps(10), 1000)),
+            SimTime::ZERO,
+        );
         let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(2));
-        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let sink = sim
+            .agent(sink)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<DatagramSink>()
+            .unwrap();
         let mbps = sink.bytes as f64 * 8.0 / 2.0 / 1e6;
         assert!(mbps <= 5.05 && mbps > 4.5, "capped at capacity: {mbps:.2}");
         assert!(sim.stats().packets_dropped > 0);
@@ -256,7 +279,12 @@ mod tests {
         );
         let sink = sim.add_agent(b, Box::new(DatagramSink::default()), SimTime::ZERO);
         sim.run_until(SimTime::from_secs(10));
-        let sink = sim.agent(sink).as_any().unwrap().downcast_ref::<DatagramSink>().unwrap();
+        let sink = sim
+            .agent(sink)
+            .as_any()
+            .unwrap()
+            .downcast_ref::<DatagramSink>()
+            .unwrap();
         let mbps = sink.bytes as f64 * 8.0 / 10.0 / 1e6;
         assert!(mbps > 5.0 && mbps < 15.0, "duty-cycled rate {mbps:.2}");
     }

@@ -49,7 +49,11 @@ pub struct LogRecord {
 
 impl fmt::Display for LogRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.time, self.level, self.component, self.message)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.time, self.level, self.component, self.message
+        )
     }
 }
 
@@ -71,7 +75,12 @@ impl Default for EventLog {
 impl EventLog {
     /// Create a log keeping records at `min_level` and above.
     pub fn new(min_level: LogLevel) -> Self {
-        EventLog { records: Vec::new(), min_level, capacity: None, dropped: 0 }
+        EventLog {
+            records: Vec::new(),
+            min_level,
+            capacity: None,
+            dropped: 0,
+        }
     }
 
     /// Bound the number of retained records; once full, **new** records are
@@ -88,7 +97,13 @@ impl EventLog {
     }
 
     /// Record a message if it passes the level filter.
-    pub fn log(&mut self, time: SimTime, level: LogLevel, component: &str, message: impl Into<String>) {
+    pub fn log(
+        &mut self,
+        time: SimTime,
+        level: LogLevel,
+        component: &str,
+        message: impl Into<String>,
+    ) {
         if level < self.min_level {
             return;
         }
@@ -112,8 +127,13 @@ impl EventLog {
     }
 
     /// Records from one component.
-    pub fn for_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a LogRecord> + 'a {
-        self.records.iter().filter(move |r| r.component == component)
+    pub fn for_component<'a>(
+        &'a self,
+        component: &'a str,
+    ) -> impl Iterator<Item = &'a LogRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.component == component)
     }
 
     /// Number of records discarded due to the capacity bound.

@@ -47,7 +47,10 @@ impl SimTime {
     /// Construct from fractional seconds (for human-facing configuration
     /// only; internal arithmetic never round-trips through floats).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimTime must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime must be finite and non-negative"
+        );
         SimTime((s * 1e9).round() as u64)
     }
 
@@ -123,7 +126,10 @@ impl SimDuration {
 
     /// Construct from fractional seconds (configuration convenience).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimDuration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimDuration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -165,7 +171,10 @@ impl SimDuration {
     /// Scale by a non-negative float factor (used by RTO backoff policies
     /// expressed as multipliers; rounding is to nearest nanosecond).
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k >= 0.0 && k.is_finite(), "scale factor must be finite and non-negative");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 
@@ -197,7 +206,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -210,21 +219,25 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"), // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
+        )
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -237,7 +250,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -250,7 +263,7 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 

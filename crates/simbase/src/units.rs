@@ -57,13 +57,13 @@ impl Bandwidth {
         assert!(self.0 > 0, "tx_time on a zero-capacity link");
         let bits = (bytes as u128) * 8 * 1_000_000_000u128;
         let ns = bits.div_ceil(self.0 as u128);
-        SimDuration::from_nanos(u64::try_from(ns).expect("tx time overflow"))
+        SimDuration::from_nanos(u64::try_from(ns).expect("tx time overflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 
     /// The number of whole bytes this rate carries in `window`.
     pub fn bytes_in(self, window: SimDuration) -> u64 {
         let bits = (self.0 as u128) * (window.as_nanos() as u128) / 1_000_000_000u128;
-        u64::try_from(bits / 8).expect("byte count overflow")
+        u64::try_from(bits / 8).expect("byte count overflow") // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -76,7 +76,7 @@ impl fmt::Debug for Bandwidth {
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let bps = self.0;
-        if bps >= 1_000_000_000 && bps % 1_000_000 == 0 {
+        if bps >= 1_000_000_000 && bps.is_multiple_of(1_000_000) {
             write!(f, "{:.3}Gbps", bps as f64 / 1e9)
         } else if bps >= 1_000_000 {
             write!(f, "{:.3}Mbps", bps as f64 / 1e6)
@@ -125,7 +125,7 @@ impl ByteSize {
 impl Add for ByteSize {
     type Output = ByteSize;
     fn add(self, rhs: ByteSize) -> ByteSize {
-        ByteSize(self.0.checked_add(rhs.0).expect("ByteSize overflow"))
+        ByteSize(self.0.checked_add(rhs.0).expect("ByteSize overflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -138,7 +138,7 @@ impl AddAssign for ByteSize {
 impl Sub for ByteSize {
     type Output = ByteSize;
     fn sub(self, rhs: ByteSize) -> ByteSize {
-        ByteSize(self.0.checked_sub(rhs.0).expect("ByteSize underflow"))
+        ByteSize(self.0.checked_sub(rhs.0).expect("ByteSize underflow")) // simlint: allow(unwrap, reason = "checked arithmetic: overflow is a sim bug; fail loudly, never wrap")
     }
 }
 
@@ -151,9 +151,9 @@ impl fmt::Debug for ByteSize {
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+        if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{}MiB", b / (1024 * 1024))
-        } else if b >= 1024 && b % 1024 == 0 {
+        } else if b >= 1024 && b.is_multiple_of(1024) {
             write!(f, "{}KiB", b / 1024)
         } else {
             write!(f, "{b}B")

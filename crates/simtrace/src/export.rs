@@ -19,7 +19,7 @@ pub fn to_csv(series: &[&TimeSeries]) -> String {
         let _ = write!(out, ",{}", s.label.replace(',', ";"));
     }
     out.push('\n');
-    let n = series.iter().map(|s| s.len()).max().unwrap();
+    let n = series.iter().map(|s| s.len()).max().unwrap_or(0);
     let t0 = first.start().as_secs_f64();
     let dt = first.bin().as_secs_f64();
     for i in 0..n {
@@ -48,7 +48,12 @@ pub struct ChartOptions {
 
 impl Default for ChartOptions {
     fn default() -> Self {
-        ChartOptions { width: 72, height: 16, y_max: None, y_label: "Mbps".to_string() }
+        ChartOptions {
+            width: 72,
+            height: 16,
+            y_max: None,
+            y_label: "Mbps".to_string(),
+        }
     }
 }
 
@@ -74,6 +79,9 @@ pub fn ascii_chart(series: &[&TimeSeries], opts: &ChartOptions) -> String {
         if n == 0 {
             continue;
         }
+        // Indexing by col is intentional: the target row differs per column,
+        // so there is no slice to iterate over.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let lo = col * n / width;
             let hi = (((col + 1) * n).div_ceil(width)).min(n).max(lo + 1);
@@ -114,7 +122,12 @@ mod tests {
     use simbase::{SimDuration, SimTime};
 
     fn ts(label: &str, vals: &[f64]) -> TimeSeries {
-        TimeSeries::new(label, SimTime::ZERO, SimDuration::from_millis(100), vals.to_vec())
+        TimeSeries::new(
+            label,
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            vals.to_vec(),
+        )
     }
 
     #[test]
@@ -125,8 +138,16 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_s,Path 1,Path 2");
         assert_eq!(lines.len(), 3);
-        assert!(lines[1].starts_with("0.000000,1.000000,3.000000"), "{}", lines[1]);
-        assert!(lines[2].starts_with("0.100000,2.000000,4.000000"), "{}", lines[2]);
+        assert!(
+            lines[1].starts_with("0.000000,1.000000,3.000000"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].starts_with("0.100000,2.000000,4.000000"),
+            "{}",
+            lines[2]
+        );
     }
 
     #[test]
@@ -160,7 +181,11 @@ mod tests {
     #[test]
     fn chart_respects_fixed_ymax() {
         let a = ts("a", &[50.0; 10]);
-        let opts = ChartOptions { y_max: Some(100.0), height: 11, ..Default::default() };
+        let opts = ChartOptions {
+            y_max: Some(100.0),
+            height: 11,
+            ..Default::default()
+        };
         let chart = ascii_chart(&[&a], &opts);
         // Value 50 of 100 on an 11-row grid -> middle row (index 5),
         // whose axis label is 50.0.

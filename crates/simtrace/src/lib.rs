@@ -9,16 +9,20 @@
 //!   Jain fairness.
 //! * [`export`] — CSV output and terminal ASCII charts (the Figure-2
 //!   reproductions render directly in the console).
+//! * [`invariant`] — trace-level invariant checks and the order-sensitive
+//!   trace hash behind the double-run determinism harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod invariant;
 pub mod sampler;
 pub mod series;
 pub mod summary;
 
 pub use export::{ascii_chart, to_csv, ChartOptions};
+pub use invariant::{check_trace, default_invariants, Invariant, InvariantViolation, TraceHasher};
 pub use sampler::{SamplerConfig, ThroughputSampler};
 pub use series::TimeSeries;
 pub use summary::{jain_fairness, ConvergenceReport};

@@ -30,7 +30,12 @@ pub struct SamplerConfig {
 impl SamplerConfig {
     /// The paper's receiver-side setup.
     pub fn tshark_like(at: NodeId, bin: SimDuration, horizon: SimTime) -> Self {
-        SamplerConfig { bin, at_node: Some(at), horizon, data_only: true }
+        SamplerConfig {
+            bin,
+            at_node: Some(at),
+            horizon,
+            data_only: true,
+        }
     }
 }
 
@@ -71,7 +76,9 @@ impl ThroughputSampler {
                 continue;
             }
             let bin = (r.time.as_nanos() / cfg.bin.as_nanos()) as usize;
-            let entry = bytes_per_tag.entry(r.pkt.tag).or_insert_with(|| vec![0u64; nbins]);
+            let entry = bytes_per_tag
+                .entry(r.pkt.tag)
+                .or_insert_with(|| vec![0u64; nbins]);
             entry[bin] += r.pkt.wire_size as u64;
             packets += 1;
             bytes += r.pkt.wire_size as u64;
@@ -83,7 +90,10 @@ impl ThroughputSampler {
             .into_iter()
             .map(|(tag, bins)| {
                 let vals: Vec<f64> = bins.into_iter().map(to_mbps).collect();
-                (tag, TimeSeries::new(format!("tag {}", tag.0), SimTime::ZERO, cfg.bin, vals))
+                (
+                    tag,
+                    TimeSeries::new(format!("tag {}", tag.0), SimTime::ZERO, cfg.bin, vals),
+                )
             })
             .collect();
 
@@ -94,7 +104,12 @@ impl ThroughputSampler {
             TimeSeries::sum_of("Total", &refs)
         };
 
-        ThroughputSampler { per_tag, total, packets, bytes }
+        ThroughputSampler {
+            per_tag,
+            total,
+            packets,
+            bytes,
+        }
     }
 
     /// The series for one tag, if present.
@@ -104,7 +119,10 @@ impl ThroughputSampler {
 
     /// Mean throughput per tag over `[from, to)`, in tag order.
     pub fn mean_rates_over(&self, from: SimTime, to: SimTime) -> Vec<(Tag, f64)> {
-        self.per_tag.iter().map(|(t, s)| (*t, s.mean_over(from, to))).collect()
+        self.per_tag
+            .iter()
+            .map(|(t, s)| (*t, s.mean_over(from, to)))
+            .collect()
     }
 }
 
@@ -113,7 +131,14 @@ mod tests {
     use super::*;
     use netsim::{PacketMeta, Protocol};
 
-    fn rec(time_ms: u64, node: u32, tag: u16, wire: u32, data: u32, kind: CaptureKind) -> CaptureRecord {
+    fn rec(
+        time_ms: u64,
+        node: u32,
+        tag: u16,
+        wire: u32,
+        data: u32,
+        kind: CaptureKind,
+    ) -> CaptureRecord {
         CaptureRecord {
             time: SimTime::from_millis(time_ms),
             node: NodeId(node),
@@ -133,7 +158,11 @@ mod tests {
     }
 
     fn cfg() -> SamplerConfig {
-        SamplerConfig::tshark_like(NodeId(5), SimDuration::from_millis(100), SimTime::from_secs(1))
+        SamplerConfig::tshark_like(
+            NodeId(5),
+            SimDuration::from_millis(100),
+            SimTime::from_secs(1),
+        )
     }
 
     #[test]

@@ -15,9 +15,19 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// Create a series from raw bin values.
-    pub fn new(label: impl Into<String>, start: SimTime, bin: SimDuration, values: Vec<f64>) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        start: SimTime,
+        bin: SimDuration,
+        values: Vec<f64>,
+    ) -> Self {
         assert!(!bin.is_zero(), "zero bin width");
-        TimeSeries { start, bin, values, label: label.into() }
+        TimeSeries {
+            start,
+            bin,
+            values,
+            label: label.into(),
+        }
     }
 
     /// Bin width.
@@ -49,7 +59,10 @@ impl TimeSeries {
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let t0 = self.start.as_secs_f64();
         let dt = self.bin.as_secs_f64();
-        self.values.iter().enumerate().map(move |(i, &v)| (t0 + i as f64 * dt, v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (t0 + i as f64 * dt, v))
     }
 
     /// Mean over all bins (0 for an empty series).
@@ -118,7 +131,7 @@ impl TimeSeries {
         if vals.is_empty() {
             return 0.0;
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(f64::total_cmp);
         let pos = q * (vals.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -143,7 +156,12 @@ impl TimeSeries {
                 self.values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
             })
             .collect();
-        TimeSeries { start: self.start, bin: self.bin, values, label: self.label.clone() }
+        TimeSeries {
+            start: self.start,
+            bin: self.bin,
+            values,
+            label: self.label.clone(),
+        }
     }
 
     /// Element-wise sum of several same-shape series (e.g. the "Total"
@@ -155,11 +173,21 @@ impl TimeSeries {
             assert_eq!(s.bin, first.bin, "bin widths differ");
             assert_eq!(s.start, first.start, "start times differ");
         }
-        let n = series.iter().map(|s| s.values.len()).max().unwrap();
+        let n = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
         let values = (0..n)
-            .map(|i| series.iter().map(|s| s.values.get(i).copied().unwrap_or(0.0)).sum())
+            .map(|i| {
+                series
+                    .iter()
+                    .map(|s| s.values.get(i).copied().unwrap_or(0.0))
+                    .sum()
+            })
             .collect();
-        TimeSeries { start: first.start, bin: first.bin, values, label: label.into() }
+        TimeSeries {
+            start: first.start,
+            bin: first.bin,
+            values,
+            label: label.into(),
+        }
     }
 }
 
@@ -168,7 +196,12 @@ mod tests {
     use super::*;
 
     fn ts(vals: &[f64]) -> TimeSeries {
-        TimeSeries::new("t", SimTime::ZERO, SimDuration::from_millis(100), vals.to_vec())
+        TimeSeries::new(
+            "t",
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            vals.to_vec(),
+        )
     }
 
     #[test]
@@ -197,7 +230,10 @@ mod tests {
         assert_eq!(s.mean_over(from, to), 25.0);
         assert_eq!(s.window(from, to).count(), 2);
         // Empty window.
-        assert_eq!(s.mean_over(SimTime::from_secs(1), SimTime::from_secs(2)), 0.0);
+        assert_eq!(
+            s.mean_over(SimTime::from_secs(1), SimTime::from_secs(2)),
+            0.0
+        );
     }
 
     #[test]
@@ -221,7 +257,10 @@ mod tests {
         assert_eq!(s.quantile_over(all.0, all.1, 0.5), 25.0);
         assert!((s.quantile_over(all.0, all.1, 0.25) - 17.5).abs() < 1e-12);
         // Empty window.
-        assert_eq!(s.quantile_over(SimTime::from_secs(5), SimTime::from_secs(6), 0.5), 0.0);
+        assert_eq!(
+            s.quantile_over(SimTime::from_secs(5), SimTime::from_secs(6), 0.5),
+            0.0
+        );
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl ConvergenceReport {
             suffix_sum += vals[i];
             hard_ok &= vals[i] >= hard_floor;
             let suffix_len = n - i;
-            if hard_ok && suffix_sum / suffix_len as f64 >= floor && suffix_len >= min_tail_bins.max(1)
+            if hard_ok
+                && suffix_sum / suffix_len as f64 >= floor
+                && suffix_len >= min_tail_bins.max(1)
             {
                 best = Some(i);
             }
@@ -168,7 +170,12 @@ mod tests {
     use super::*;
 
     fn series(vals: &[f64]) -> TimeSeries {
-        TimeSeries::new("s", SimTime::ZERO, SimDuration::from_millis(100), vals.to_vec())
+        TimeSeries::new(
+            "s",
+            SimTime::ZERO,
+            SimDuration::from_millis(100),
+            vals.to_vec(),
+        )
     }
 
     #[test]
@@ -224,7 +231,10 @@ mod tests {
         let rs = ConvergenceReport::analyze(&stable, 90.0, 0.1, hold);
         let ru = ConvergenceReport::analyze(&unstable, 90.0, 0.1, hold);
         assert!(ru.steady_cov > rs.steady_cov);
-        assert!(ru.reached_optimum(), "oscillation inside the band still converges");
+        assert!(
+            ru.reached_optimum(),
+            "oscillation inside the band still converges"
+        );
     }
 
     #[test]

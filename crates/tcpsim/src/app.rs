@@ -26,7 +26,10 @@ impl AppSource {
     /// A paced source approximating `rate`, pushing one chunk per 10 ms.
     pub fn paced_at(rate: Bandwidth) -> AppSource {
         let interval = SimDuration::from_millis(10);
-        AppSource::Paced { chunk: rate.bytes_in(interval).max(1), interval }
+        AppSource::Paced {
+            chunk: rate.bytes_in(interval).max(1),
+            interval,
+        }
     }
 
     /// Total bytes this source will ever produce (`None` = unbounded).

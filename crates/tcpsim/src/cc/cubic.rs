@@ -140,7 +140,8 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.enter_epoch(ctx.now);
         }
-        let t = (ctx.now - self.epoch_start.unwrap()).as_secs_f64();
+        // epoch_start was just seeded above; unwrap_or only for the lint contract.
+        let t = (ctx.now - self.epoch_start.unwrap_or(ctx.now)).as_secs_f64();
 
         // Target: where the cubic curve will be one RTT from now.
         let target = self.w_cubic(t + rtt);
@@ -310,7 +311,10 @@ mod tests {
         // curve, not the TCP-friendly region, drives growth).
         let w_fc = run_rtts_at(&mut with_fc, 20, 100, 30);
         let w_nofc = run_rtts_at(&mut without_fc, 20, 100, 30);
-        assert!(w_fc < w_nofc, "fast convergence must cap lower: {w_fc} vs {w_nofc}");
+        assert!(
+            w_fc < w_nofc,
+            "fast convergence must cap lower: {w_fc} vs {w_nofc}"
+        );
     }
 
     #[test]
@@ -325,8 +329,14 @@ mod tests {
         let expected = 10.0 * 0.7 + 3.0 * 0.3 / 1.7 * rtts as f64;
         // cwnd must be at least the Reno-friendly estimate (and not wildly
         // above it in this regime, where the cubic curve stays below).
-        assert!(w_mss >= expected - 1.0, "w {w_mss:.1} < W_est {expected:.1}");
-        assert!(w_mss <= expected + 4.0, "w {w_mss:.1} far above W_est {expected:.1}");
+        assert!(
+            w_mss >= expected - 1.0,
+            "w {w_mss:.1} < W_est {expected:.1}"
+        );
+        assert!(
+            w_mss <= expected + 4.0,
+            "w {w_mss:.1} far above W_est {expected:.1}"
+        );
     }
 
     #[test]

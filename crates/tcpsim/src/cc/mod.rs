@@ -109,7 +109,11 @@ pub(crate) mod testutil {
     }
 
     pub fn loss(now_ms: u64, flight: u64) -> LossContext {
-        LossContext { now: SimTime::from_millis(now_ms), flight_size: flight, mss: MSS }
+        LossContext {
+            now: SimTime::from_millis(now_ms),
+            flight_size: flight,
+            mss: MSS,
+        }
     }
 
     /// Drive an algorithm with one bulk ACK per `rtt_ms` for `rtts` rounds,

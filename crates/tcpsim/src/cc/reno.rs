@@ -23,7 +23,11 @@ impl Reno {
     /// Create with an initial window in bytes (see
     /// [`super::initial_window`]) and an effectively infinite `ssthresh`.
     pub fn new(initial_cwnd: u64, mss: u32) -> Self {
-        Reno { cwnd: initial_cwnd as f64, ssthresh: f64::INFINITY, mss }
+        Reno {
+            cwnd: initial_cwnd as f64,
+            ssthresh: f64::INFINITY,
+            mss,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ mod tests {
         run_rtts(&mut cc, 0, 10, 1);
         let grown = cc.cwnd() - w;
         // One MSS per RTT, within rounding.
-        assert!(grown >= (MSS - 100) as u64 && grown <= (MSS + 20) as u64, "grew {grown}");
+        assert!(
+            grown >= (MSS - 100) as u64 && grown <= (MSS + 20) as u64,
+            "grew {grown}"
+        );
     }
 
     #[test]
@@ -134,10 +141,14 @@ mod tests {
         let mut cc = Reno::new(10 * MSS as u64, MSS);
         cc.on_loss_event(&loss(0, 100 * MSS as u64)); // ssthresh = 50 MSS
         cc.on_rto(&loss(1, 100 * MSS as u64)); // cwnd = 1 MSS, ssthresh = 50
-        // Grow back: should not overshoot ssthresh by more than ~1 MSS
-        // at the slow start -> CA transition.
+                                               // Grow back: should not overshoot ssthresh by more than ~1 MSS
+                                               // at the slow start -> CA transition.
         run_rtts(&mut cc, 10, 10, 6); // 1 -> 2 -> 4 -> ... -> 64 capped
-        assert!(cc.cwnd() <= 51 * MSS as u64 + MSS as u64, "cwnd={}", cc.cwnd());
+        assert!(
+            cc.cwnd() <= 51 * MSS as u64 + MSS as u64,
+            "cwnd={}",
+            cc.cwnd()
+        );
     }
 
     #[test]

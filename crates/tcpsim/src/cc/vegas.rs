@@ -209,7 +209,11 @@ mod tests {
     fn loss_still_halves() {
         let mut cc = in_ca(30);
         let flight = 30 * MSS as u64;
-        cc.on_loss_event(&LossContext { now: SimTime::ZERO, flight_size: flight, mss: MSS });
+        cc.on_loss_event(&LossContext {
+            now: SimTime::ZERO,
+            flight_size: flight,
+            mss: MSS,
+        });
         assert_eq!(cc.cwnd(), flight / 2);
     }
 

@@ -37,7 +37,13 @@ pub struct TcpSenderAgent {
 
 impl TcpSenderAgent {
     /// Create a sender agent towards `dst`, tagging its packets with `tag`.
-    pub fn new(cfg: TcpConfig, cc: Box<dyn crate::cc::CongestionControl>, app: AppSource, dst: NodeId, tag: Tag) -> Self {
+    pub fn new(
+        cfg: TcpConfig,
+        cc: Box<dyn crate::cc::CongestionControl>,
+        app: AppSource,
+        dst: NodeId,
+        tag: Tag,
+    ) -> Self {
         let fh = flow_hash(cfg.src_port, cfg.dst_port);
         TcpSenderAgent {
             sender: TcpSender::new(cfg, cc),
@@ -55,9 +61,21 @@ impl TcpSenderAgent {
     }
 
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        let ecn = if self.sender.config().ecn { Ecn::Ect } else { Ecn::NotEct };
+        let ecn = if self.sender.config().ecn {
+            Ecn::Ect
+        } else {
+            Ecn::NotEct
+        };
         while let Some(tx) = self.sender.poll_segment(ctx.now()) {
-            ctx.send_ecn(self.dst, self.tag, Protocol::Tcp, tx.seg.encode(), tx.len, self.flow_hash, ecn);
+            ctx.send_ecn(
+                self.dst,
+                self.tag,
+                Protocol::Tcp,
+                tx.seg.encode(),
+                tx.len,
+                self.flow_hash,
+                ecn,
+            );
         }
         self.rearm(ctx);
     }
@@ -66,7 +84,7 @@ impl TcpSenderAgent {
         if let Some(t) = self.sender.next_timer() {
             let fire_at = t.max(ctx.now());
             // Only schedule if it beats the currently armed deadline.
-            if self.armed.map_or(true, |a| fire_at < a || a <= ctx.now()) {
+            if self.armed.is_none_or(|a| fire_at < a || a <= ctx.now()) {
                 ctx.set_timer_at(fire_at, TOKEN_RTO);
                 self.armed = Some(fire_at);
             }
@@ -95,7 +113,12 @@ impl Agent for TcpSenderAgent {
         let seg = match TcpSegment::decode(&pkt.payload) {
             Ok(seg) => seg,
             Err(e) => {
-                ctx.log.log(ctx.now(), LogLevel::Warn, "tcp.sender", format!("bad segment: {e}"));
+                ctx.log.log(
+                    ctx.now(),
+                    LogLevel::Warn,
+                    "tcp.sender",
+                    format!("bad segment: {e}"),
+                );
                 return;
             }
         };
@@ -142,7 +165,12 @@ impl TcpReceiverAgent {
     /// Create a receiver; ACKs carry `tag` so they retrace the data path.
     pub fn new(cfg: ReceiverConfig, tag: Tag) -> Self {
         let fh = flow_hash(cfg.src_port, cfg.dst_port);
-        TcpReceiverAgent { receiver: TcpReceiver::new(cfg), tag, flow_hash: fh, peer: None }
+        TcpReceiverAgent {
+            receiver: TcpReceiver::new(cfg),
+            tag,
+            flow_hash: fh,
+            peer: None,
+        }
     }
 
     /// Access the underlying engine (post-run inspection).
@@ -156,14 +184,26 @@ impl Agent for TcpReceiverAgent {
         let seg = match TcpSegment::decode(&pkt.payload) {
             Ok(seg) => seg,
             Err(e) => {
-                ctx.log.log(ctx.now(), LogLevel::Warn, "tcp.receiver", format!("bad segment: {e}"));
+                ctx.log.log(
+                    ctx.now(),
+                    LogLevel::Warn,
+                    "tcp.receiver",
+                    format!("bad segment: {e}"),
+                );
                 return;
             }
         };
         self.peer = Some(pkt.src);
         let ce = pkt.ecn == Ecn::Ce;
         if let Some(ack) = self.receiver.on_data_ecn(ctx.now(), &seg, pkt.data_len, ce) {
-            ctx.send(pkt.src, self.tag, Protocol::Tcp, ack.encode(), 0, self.flow_hash);
+            ctx.send(
+                pkt.src,
+                self.tag,
+                Protocol::Tcp,
+                ack.encode(),
+                0,
+                self.flow_hash,
+            );
         }
         if let Some(t) = self.receiver.next_timer() {
             ctx.set_timer_at(t.max(ctx.now()), TOKEN_DELACK);
@@ -173,8 +213,16 @@ impl Agent for TcpReceiverAgent {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TOKEN_DELACK {
             if let Some(ack) = self.receiver.on_timer(ctx.now()) {
-                let peer = self.peer.expect("delayed ACK without traffic");
-                ctx.send(peer, self.tag, Protocol::Tcp, ack.encode(), 0, self.flow_hash);
+                // The delayed-ACK timer only arms once a segment has set peer.
+                let Some(peer) = self.peer else { return };
+                ctx.send(
+                    peer,
+                    self.tag,
+                    Protocol::Tcp,
+                    ack.encode(),
+                    0,
+                    self.flow_hash,
+                );
             }
         }
     }

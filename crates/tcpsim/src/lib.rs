@@ -23,8 +23,8 @@ pub mod cc;
 pub mod conn;
 pub mod receiver;
 pub mod rtt;
-pub mod seq;
 pub mod sender;
+pub mod seq;
 pub mod wire;
 
 pub use app::AppSource;
@@ -32,8 +32,8 @@ pub use cc::{AckContext, CongestionControl, Cubic, LossContext, Reno, Vegas};
 pub use conn::{flow_hash, TcpReceiverAgent, TcpSenderAgent};
 pub use receiver::{ReceiverConfig, ReceiverStats, TcpReceiver};
 pub use rtt::RttEstimator;
-pub use seq::SeqNum;
 pub use sender::{AckResult, SegmentTx, SenderStats, TcpConfig, TcpSender};
+pub use seq::SeqNum;
 pub use wire::{DssOption, TcpFlags, TcpSegment, Timestamps, WireError};
 
 #[cfg(test)]
@@ -78,8 +78,11 @@ mod e2e_tests {
             Box::new(TcpSenderAgent::new(cfg, cc, app, net.dst, Tag::NONE)),
             SimTime::ZERO,
         );
-        net.sim
-            .add_agent(net.dst, Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)), SimTime::ZERO);
+        net.sim.add_agent(
+            net.dst,
+            Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)),
+            SimTime::ZERO,
+        );
     }
 
     fn delivered_data_bytes(sim: &Simulator, since: SimTime, until: SimTime) -> u64 {
@@ -99,7 +102,11 @@ mod e2e_tests {
     fn bulk_flow_fills_the_link() {
         let mut net = build_net(10, 5, 64, 1);
         let cfg = TcpConfig::default();
-        attach_flow(&mut net, AppSource::Unlimited, Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)));
+        attach_flow(
+            &mut net,
+            AppSource::Unlimited,
+            Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)),
+        );
         let end = SimTime::from_secs(3);
         net.sim.run_until(end);
 
@@ -115,7 +122,11 @@ mod e2e_tests {
     fn reno_also_fills_the_link() {
         let mut net = build_net(10, 5, 64, 2);
         let cfg = TcpConfig::default();
-        attach_flow(&mut net, AppSource::Unlimited, Box::new(Reno::new(cfg.initial_cwnd, cfg.mss)));
+        attach_flow(
+            &mut net,
+            AppSource::Unlimited,
+            Box::new(Reno::new(cfg.initial_cwnd, cfg.mss)),
+        );
         let end = SimTime::from_secs(3);
         net.sim.run_until(end);
         let bytes = delivered_data_bytes(&net.sim, SimTime::from_secs(1), end);
@@ -128,7 +139,11 @@ mod e2e_tests {
         let mut net = build_net(10, 2, 64, 3);
         let cfg = TcpConfig::default();
         let total = 500_000u64;
-        attach_flow(&mut net, AppSource::Fixed(total), Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)));
+        attach_flow(
+            &mut net,
+            AppSource::Fixed(total),
+            Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)),
+        );
         net.sim.run_until(SimTime::from_secs(10));
         let data_bytes: u64 = net
             .sim
@@ -137,7 +152,10 @@ mod e2e_tests {
             .filter(|c| c.kind == CaptureKind::Delivered && c.pkt.data_len > 0)
             .map(|c| c.pkt.data_len as u64)
             .sum();
-        assert!(data_bytes >= total, "all app bytes must arrive (incl. rtx): {data_bytes}");
+        assert!(
+            data_bytes >= total,
+            "all app bytes must arrive (incl. rtx): {data_bytes}"
+        );
         // No packets stuck in flight at the end.
         net.sim.run_to_completion();
         assert_eq!(net.sim.packets_in_flight(), 0);
@@ -147,7 +165,11 @@ mod e2e_tests {
     fn tiny_queue_forces_losses_but_flow_survives() {
         let mut net = build_net(10, 5, 4, 4);
         let cfg = TcpConfig::default();
-        attach_flow(&mut net, AppSource::Unlimited, Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)));
+        attach_flow(
+            &mut net,
+            AppSource::Unlimited,
+            Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)),
+        );
         let end = SimTime::from_secs(3);
         net.sim.run_until(end);
         assert!(net.sim.stats().packets_dropped > 0, "tiny queue must drop");
@@ -171,7 +193,13 @@ mod e2e_tests {
         let ms = SimDuration::from_millis;
         topo.add_link(s1, m, fast, ms(1), QueueConfig::DropTailPackets(64));
         topo.add_link(s2, m, fast, ms(1), QueueConfig::DropTailPackets(64));
-        topo.add_link(m, x, Bandwidth::from_mbps(10), ms(2), QueueConfig::DropTailPackets(64));
+        topo.add_link(
+            m,
+            x,
+            Bandwidth::from_mbps(10),
+            ms(2),
+            QueueConfig::DropTailPackets(64),
+        );
         topo.add_link(x, d1, fast, ms(1), QueueConfig::DropTailPackets(64));
         topo.add_link(x, d2, fast, ms(1), QueueConfig::DropTailPackets(64));
         let mut rt = RoutingTables::new(&topo);
@@ -181,15 +209,32 @@ mod e2e_tests {
         sim.set_capture(cap);
 
         for (src, dst, sport) in [(s1, d1, 6000u16), (s2, d2, 6001)] {
-            let cfg = TcpConfig { src_port: sport, ..Default::default() };
-            let rcfg = ReceiverConfig { src_port: 7000, dst_port: sport, ..Default::default() };
+            let cfg = TcpConfig {
+                src_port: sport,
+                ..Default::default()
+            };
+            let rcfg = ReceiverConfig {
+                src_port: 7000,
+                dst_port: sport,
+                ..Default::default()
+            };
             let cc = Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss));
             sim.add_agent(
                 src,
-                Box::new(TcpSenderAgent::new(cfg, cc, AppSource::Unlimited, dst, Tag::NONE)),
+                Box::new(TcpSenderAgent::new(
+                    cfg,
+                    cc,
+                    AppSource::Unlimited,
+                    dst,
+                    Tag::NONE,
+                )),
                 SimTime::ZERO,
             );
-            sim.add_agent(dst, Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)), SimTime::ZERO);
+            sim.add_agent(
+                dst,
+                Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)),
+                SimTime::ZERO,
+            );
         }
         let end = SimTime::from_secs(5);
         sim.run_until(end);
@@ -209,7 +254,10 @@ mod e2e_tests {
         let b1 = per_dst(d1) as f64;
         let b2 = per_dst(d2) as f64;
         let total_mbps = (b1 + b2) * 8.0 / 4.0 / 1e6;
-        assert!(total_mbps > 9.0, "bottleneck underutilized: {total_mbps:.2}");
+        assert!(
+            total_mbps > 9.0,
+            "bottleneck underutilized: {total_mbps:.2}"
+        );
         let ratio = b1.max(b2) / b1.min(b2).max(1.0);
         assert!(ratio < 2.5, "grossly unfair split: {b1} vs {b2}");
     }
@@ -225,7 +273,10 @@ mod e2e_tests {
                 Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)),
             );
             net.sim.run_until(SimTime::from_secs(2));
-            (net.sim.stats().packets_delivered, net.sim.stats().packets_dropped)
+            (
+                net.sim.stats().packets_delivered,
+                net.sim.stats().packets_dropped,
+            )
         }
         assert_eq!(run(), run());
     }
@@ -237,15 +288,24 @@ mod e2e_tests {
         let cc = Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss));
         net.sim.add_agent(
             net.src,
-            Box::new(TcpSenderAgent::new(cfg, cc, AppSource::Unlimited, net.dst, Tag::NONE)),
+            Box::new(TcpSenderAgent::new(
+                cfg,
+                cc,
+                AppSource::Unlimited,
+                net.dst,
+                Tag::NONE,
+            )),
             SimTime::ZERO,
         );
         let rcfg = ReceiverConfig {
             delayed_ack: Some(SimDuration::from_millis(40)),
             ..Default::default()
         };
-        net.sim
-            .add_agent(net.dst, Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)), SimTime::ZERO);
+        net.sim.add_agent(
+            net.dst,
+            Box::new(TcpReceiverAgent::new(rcfg, Tag::NONE)),
+            SimTime::ZERO,
+        );
         let end = SimTime::from_secs(3);
         net.sim.run_until(end);
         let bytes = delivered_data_bytes(&net.sim, SimTime::from_secs(1), end);
@@ -266,27 +326,45 @@ mod e2e_tests {
                 d,
                 Bandwidth::from_mbps(10),
                 SimDuration::from_millis(5),
-                QueueConfig::Red(netsim::RedConfig { ecn_marking: true, ..Default::default() }),
+                QueueConfig::Red(netsim::RedConfig {
+                    ecn_marking: true,
+                    ..Default::default()
+                }),
             );
             let mut rt = RoutingTables::new(&topo);
             rt.install_all_default_routes(&topo);
             let mut sim = Simulator::new(topo, rt, 5);
             sim.set_capture(CaptureConfig::receiver_side(d));
-            let cfg = TcpConfig { ecn, ..Default::default() };
+            let cfg = TcpConfig {
+                ecn,
+                ..Default::default()
+            };
             let cc = Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss));
             let sender_id = sim.add_agent(
                 s,
-                Box::new(TcpSenderAgent::new(cfg, cc, AppSource::Unlimited, d, Tag::NONE)),
+                Box::new(TcpSenderAgent::new(
+                    cfg,
+                    cc,
+                    AppSource::Unlimited,
+                    d,
+                    Tag::NONE,
+                )),
                 SimTime::ZERO,
             );
-            sim.add_agent(d, Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)), SimTime::ZERO);
+            sim.add_agent(
+                d,
+                Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)),
+                SimTime::ZERO,
+            );
             let end = SimTime::from_secs(4);
             sim.run_until(end);
             let bytes: u64 = sim
                 .captures()
                 .iter()
                 .filter(|c| {
-                    c.kind == CaptureKind::Delivered && c.pkt.data_len > 0 && c.time >= SimTime::from_secs(1)
+                    c.kind == CaptureKind::Delivered
+                        && c.pkt.data_len > 0
+                        && c.time >= SimTime::from_secs(1)
                 })
                 .map(|c| c.pkt.wire_size as u64)
                 .sum();
@@ -318,6 +396,9 @@ mod e2e_tests {
         net.sim.run_until(end);
         let bytes = delivered_data_bytes(&net.sim, SimTime::from_secs(1), end);
         let mbps = bytes as f64 * 8.0 / 2.0 / 1e6;
-        assert!(mbps > 1.8 && mbps < 2.4, "paced load mismatch: {mbps:.2} Mbps");
+        assert!(
+            mbps > 1.8 && mbps < 2.4,
+            "paced load mismatch: {mbps:.2} Mbps"
+        );
     }
 }

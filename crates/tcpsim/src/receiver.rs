@@ -183,10 +183,7 @@ impl TcpReceiver {
         // In-order (possibly overlapping) data: advance and absorb any
         // out-of-order ranges that are now contiguous.
         self.rcv_nxt = end;
-        loop {
-            let Some((&s, &e)) = self.ooo.first_key_value() else {
-                break;
-            };
+        while let Some((&s, &e)) = self.ooo.first_key_value() {
             if s > self.rcv_nxt {
                 break;
             }
@@ -246,9 +243,15 @@ impl TcpReceiver {
             dst_port: self.cfg.dst_port,
             seq: SeqNum(0),
             ack: SeqNum::from_offset(self.cfg.peer_isn, self.rcv_nxt),
-            flags: TcpFlags { ece: self.ece_pending, ..TcpFlags::ACK },
+            flags: TcpFlags {
+                ece: self.ece_pending,
+                ..TcpFlags::ACK
+            },
             window: self.cfg.window,
-            ts: Some(Timestamps { tsval: (now.as_nanos() / 1_000) as u32, tsecr: self.last_tsval }),
+            ts: Some(Timestamps {
+                tsval: (now.as_nanos() / 1_000) as u32,
+                tsecr: self.last_tsval,
+            }),
             mss: None,
             sack: self.sack_blocks(),
             dss: None,
@@ -262,7 +265,10 @@ impl TcpReceiver {
             return Vec::new();
         }
         let to_wire = |s: u64, e: u64| {
-            (SeqNum::from_offset(self.cfg.peer_isn, s), SeqNum::from_offset(self.cfg.peer_isn, e))
+            (
+                SeqNum::from_offset(self.cfg.peer_isn, s),
+                SeqNum::from_offset(self.cfg.peer_isn, e),
+            )
         };
         let mut blocks = Vec::with_capacity(MAX_SACK_BLOCKS);
         let mut first_start = None;
@@ -298,14 +304,11 @@ impl TcpReceiver {
                 self.ooo.remove(&s);
             }
         }
-        let overlapping: Vec<u64> = self
-            .ooo
-            .range(start..=end)
-            .map(|(&s, _)| s)
-            .collect();
+        let overlapping: Vec<u64> = self.ooo.range(start..=end).map(|(&s, _)| s).collect();
         for s in overlapping {
-            let e = self.ooo.remove(&s).unwrap();
-            end = end.max(e);
+            if let Some(e) = self.ooo.remove(&s) {
+                end = end.max(e);
+            }
         }
         self.ooo.insert(start, end);
         (start, end)
@@ -343,7 +346,11 @@ mod tests {
         let mut r = TcpReceiver::new(cfg.clone());
         for i in 0..5u64 {
             let ack = r
-                .on_data(SimTime::from_millis(i), &data_seg(&cfg, i * MSS, 100 + i as u32), MSS as u32)
+                .on_data(
+                    SimTime::from_millis(i),
+                    &data_seg(&cfg, i * MSS, 100 + i as u32),
+                    MSS as u32,
+                )
                 .expect("quickack");
             assert_eq!(ack_offset(&cfg, &ack), (i + 1) * MSS);
             assert_eq!(ack.ts.unwrap().tsecr, 100 + i as u32);
@@ -361,12 +368,14 @@ mod tests {
         r.on_data(t, &data_seg(&cfg, 0, 1), MSS as u32).unwrap();
         // Segment 1 lost; 2, 3, 4 arrive.
         for i in [2u64, 3, 4] {
-            let ack = r.on_data(t, &data_seg(&cfg, i * MSS, 1), MSS as u32).unwrap();
+            let ack = r
+                .on_data(t, &data_seg(&cfg, i * MSS, 1), MSS as u32)
+                .unwrap();
             assert_eq!(ack_offset(&cfg, &ack), MSS, "dup ACK at the hole");
         }
         assert_eq!(r.stats().out_of_order_segments, 3);
         assert_eq!(r.ooo_ranges(), 1); // merged into one contiguous range
-        // The retransmission fills the hole: cumulative ACK jumps.
+                                       // The retransmission fills the hole: cumulative ACK jumps.
         let ack = r.on_data(t, &data_seg(&cfg, MSS, 1), MSS as u32).unwrap();
         assert_eq!(ack_offset(&cfg, &ack), 5 * MSS);
         assert_eq!(r.ooo_ranges(), 0);
@@ -378,10 +387,13 @@ mod tests {
         let mut r = TcpReceiver::new(cfg.clone());
         let t = SimTime::ZERO;
         // Arrivals: 2, 4, 3 (holes at 0 and 1).
-        r.on_data(t, &data_seg(&cfg, 2 * MSS, 1), MSS as u32).unwrap();
-        r.on_data(t, &data_seg(&cfg, 4 * MSS, 1), MSS as u32).unwrap();
+        r.on_data(t, &data_seg(&cfg, 2 * MSS, 1), MSS as u32)
+            .unwrap();
+        r.on_data(t, &data_seg(&cfg, 4 * MSS, 1), MSS as u32)
+            .unwrap();
         assert_eq!(r.ooo_ranges(), 2);
-        r.on_data(t, &data_seg(&cfg, 3 * MSS, 1), MSS as u32).unwrap();
+        r.on_data(t, &data_seg(&cfg, 3 * MSS, 1), MSS as u32)
+            .unwrap();
         assert_eq!(r.ooo_ranges(), 1, "3 bridges 2..3 and 4..5");
         // Fill 0 then 1.
         let ack = r.on_data(t, &data_seg(&cfg, 0, 1), MSS as u32).unwrap();
@@ -408,7 +420,9 @@ mod tests {
         let t = SimTime::ZERO;
         r.on_data(t, &data_seg(&cfg, 0, 1), MSS as u32).unwrap();
         // A segment overlapping the delivered prefix but extending past it.
-        let ack = r.on_data(t, &data_seg(&cfg, MSS / 2, 1), MSS as u32).unwrap();
+        let ack = r
+            .on_data(t, &data_seg(&cfg, MSS / 2, 1), MSS as u32)
+            .unwrap();
         assert_eq!(ack_offset(&cfg, &ack), MSS / 2 + MSS);
     }
 
@@ -436,7 +450,9 @@ mod tests {
             ..Default::default()
         };
         let mut r = TcpReceiver::new(cfg.clone());
-        assert!(r.on_data(SimTime::ZERO, &data_seg(&cfg, 0, 1), MSS as u32).is_none());
+        assert!(r
+            .on_data(SimTime::ZERO, &data_seg(&cfg, 0, 1), MSS as u32)
+            .is_none());
         let deadline = r.next_timer().unwrap();
         assert!(r.on_timer(deadline - SimDuration::from_nanos(1)).is_none());
         let ack = r.on_timer(deadline).expect("flush");
@@ -457,9 +473,14 @@ mod tests {
 
     #[test]
     fn advertised_window_is_carried() {
-        let cfg = ReceiverConfig { window: 1 << 20, ..Default::default() };
+        let cfg = ReceiverConfig {
+            window: 1 << 20,
+            ..Default::default()
+        };
         let mut r = TcpReceiver::new(cfg.clone());
-        let ack = r.on_data(SimTime::ZERO, &data_seg(&cfg, 0, 1), MSS as u32).unwrap();
+        let ack = r
+            .on_data(SimTime::ZERO, &data_seg(&cfg, 0, 1), MSS as u32)
+            .unwrap();
         assert_eq!(ack.window, 1 << 20);
         assert!(ack.flags.ack);
     }
@@ -470,13 +491,19 @@ mod tests {
         let mut r = TcpReceiver::new(cfg.clone());
         let t = SimTime::ZERO;
         // Plain segment: no ECE.
-        let ack = r.on_data_ecn(t, &data_seg(&cfg, 0, 1), MSS as u32, false).unwrap();
+        let ack = r
+            .on_data_ecn(t, &data_seg(&cfg, 0, 1), MSS as u32, false)
+            .unwrap();
         assert!(!ack.flags.ece);
         // CE-marked segment: ECE latches.
-        let ack = r.on_data_ecn(t, &data_seg(&cfg, MSS, 1), MSS as u32, true).unwrap();
+        let ack = r
+            .on_data_ecn(t, &data_seg(&cfg, MSS, 1), MSS as u32, true)
+            .unwrap();
         assert!(ack.flags.ece);
         // Still echoing on unmarked segments.
-        let ack = r.on_data_ecn(t, &data_seg(&cfg, 2 * MSS, 1), MSS as u32, false).unwrap();
+        let ack = r
+            .on_data_ecn(t, &data_seg(&cfg, 2 * MSS, 1), MSS as u32, false)
+            .unwrap();
         assert!(ack.flags.ece);
         // CWR from the sender clears it.
         let mut seg = data_seg(&cfg, 3 * MSS, 1);

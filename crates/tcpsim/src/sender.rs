@@ -316,7 +316,10 @@ impl TcpSender {
 
     /// End of the highest SACKed range (or `snd_una` if none).
     pub fn highest_sacked(&self) -> u64 {
-        self.scoreboard.last_key_value().map(|(_, &e)| e).unwrap_or(self.snd_una)
+        self.scoreboard
+            .last_key_value()
+            .map(|(_, &e)| e)
+            .unwrap_or(self.snd_una)
     }
 
     /// RFC 6675-style pipe estimate: bytes believed in the network —
@@ -410,19 +413,21 @@ impl TcpSender {
                 self.scoreboard.remove(&rs);
             }
         }
-        let overlapping: Vec<u64> = self.scoreboard.range(start..=end).map(|(&rs, _)| rs).collect();
+        let overlapping: Vec<u64> = self
+            .scoreboard
+            .range(start..=end)
+            .map(|(&rs, _)| rs)
+            .collect();
         for rs in overlapping {
-            let re = self.scoreboard.remove(&rs).unwrap();
-            end = end.max(re);
+            if let Some(re) = self.scoreboard.remove(&rs) {
+                end = end.max(re);
+            }
         }
         self.scoreboard.insert(start, end);
     }
 
     fn prune_scoreboard(&mut self) {
-        loop {
-            let Some((&rs, &re)) = self.scoreboard.first_key_value() else {
-                break;
-            };
+        while let Some((&rs, &re)) = self.scoreboard.first_key_value() {
             if re <= self.snd_una {
                 self.scoreboard.remove(&rs);
             } else if rs < self.snd_una {
@@ -445,9 +450,15 @@ impl TcpSender {
             dst_port: self.cfg.dst_port,
             seq: SeqNum::from_offset(self.cfg.isn, offset),
             ack: SeqNum(0),
-            flags: TcpFlags { cwr, ..TcpFlags::default() },
+            flags: TcpFlags {
+                cwr,
+                ..TcpFlags::default()
+            },
             window: 0, // sender side advertises nothing useful in one-way flows
-            ts: Some(Timestamps { tsval: Self::tsval(now), tsecr: self.peer_tsval }),
+            ts: Some(Timestamps {
+                tsval: Self::tsval(now),
+                tsecr: self.peer_tsval,
+            }),
             mss: None,
             sack: Vec::new(),
             dss: None,
@@ -482,7 +493,12 @@ impl TcpSender {
                 self.arm_rto(now);
                 let mut seg = self.make_segment(now, off);
                 seg.flags.fin = true;
-                return Some(SegmentTx { offset: off, len: 0, seg, is_retransmission: true });
+                return Some(SegmentTx {
+                    offset: off,
+                    len: 0,
+                    seg,
+                    is_retransmission: true,
+                });
             }
             let len = self
                 .segment_len_at(off)
@@ -547,7 +563,12 @@ impl TcpSender {
                 self.arm_rto_if_unarmed(now);
                 let mut seg = self.make_segment(now, offset);
                 seg.flags.fin = true;
-                return Some(SegmentTx { offset, len: 0, seg, is_retransmission: false });
+                return Some(SegmentTx {
+                    offset,
+                    len: 0,
+                    seg,
+                    is_retransmission: false,
+                });
             }
             return None;
         }
@@ -588,7 +609,8 @@ impl TcpSender {
                 let sample_us = Self::tsval(now).wrapping_sub(ts.tsecr);
                 // Reject absurd samples from clock wrap (> 1 hour).
                 if sample_us < 3_600_000_000 {
-                    self.rtt.on_sample(SimDuration::from_micros(sample_us as u64));
+                    self.rtt
+                        .on_sample(SimDuration::from_micros(sample_us as u64));
                 }
             }
         }
@@ -603,7 +625,12 @@ impl TcpSender {
         // reacted to at most once per RTT (RFC 3168 §6.1.2).
         if self.cfg.ecn && seg.flags.ece && now >= self.ecn_cwr_until {
             let flight = self.flight_size();
-            self.cc.on_loss_event(&LossContext { now, flight_size: flight, mss: self.cfg.mss });
+            self.cc.on_loss_event(&LossContext {
+                now,
+                flight_size: flight,
+                mss: self.cfg.mss,
+            });
+            self.check_cwnd_floor();
             self.stats.ecn_reductions += 1;
             self.ecn_send_cwr = true;
             let rtt = self.rtt.srtt().unwrap_or(SimDuration::from_millis(100));
@@ -645,8 +672,9 @@ impl TcpSender {
                     // scoreboard drives retransmissions from poll_segment;
                     // without it, NewReno retransmits the hole directly and
                     // deflates the inflated window (RFC 6582).
-                    let sack_driven =
-                        self.cfg.sack && rec.kind == RecoveryKind::Fast && !self.scoreboard.is_empty();
+                    let sack_driven = self.cfg.sack
+                        && rec.kind == RecoveryKind::Fast
+                        && !self.scoreboard.is_empty();
                     if !sack_driven {
                         self.rtx_pending.push_back(self.snd_una);
                         self.inflation = self.inflation.saturating_sub(newly);
@@ -662,6 +690,7 @@ impl TcpSender {
                         flight_size: flight_before,
                         mss: self.cfg.mss,
                     });
+                    self.check_cwnd_floor();
                 }
             }
 
@@ -709,20 +738,54 @@ impl TcpSender {
         result
     }
 
+    /// Congestion-window floor (`check` feature): no CC algorithm may
+    /// report a window below one segment — the send loop could then never
+    /// admit a full-sized segment and the flow would deadlock. Called after
+    /// every CC callback (ack, loss, RTO).
+    #[cfg(feature = "check")]
+    fn check_cwnd_floor(&self) {
+        assert!(
+            self.cc.cwnd() >= u64::from(self.cfg.mss),
+            "{}: cwnd {} below 1 MSS ({}) after CC update",
+            self.cc.name(),
+            self.cc.cwnd(),
+            self.cfg.mss,
+        );
+    }
+
+    #[cfg(not(feature = "check"))]
+    fn check_cwnd_floor(&self) {}
+
     fn enter_sack_recovery(&mut self, now: SimTime) {
         let flight = self.flight_size();
-        self.cc.on_loss_event(&LossContext { now, flight_size: flight, mss: self.cfg.mss });
+        self.cc.on_loss_event(&LossContext {
+            now,
+            flight_size: flight,
+            mss: self.cfg.mss,
+        });
+        self.check_cwnd_floor();
         self.stats.loss_events += 1;
-        self.recovery = Some(Recovery { kind: RecoveryKind::Fast, recover: self.snd_nxt });
+        self.recovery = Some(Recovery {
+            kind: RecoveryKind::Fast,
+            recover: self.snd_nxt,
+        });
         self.high_rtx = self.snd_una;
         self.inflation = 0;
     }
 
     fn enter_fast_recovery(&mut self, now: SimTime) {
         let flight = self.flight_size();
-        self.cc.on_loss_event(&LossContext { now, flight_size: flight, mss: self.cfg.mss });
+        self.cc.on_loss_event(&LossContext {
+            now,
+            flight_size: flight,
+            mss: self.cfg.mss,
+        });
+        self.check_cwnd_floor();
         self.stats.loss_events += 1;
-        self.recovery = Some(Recovery { kind: RecoveryKind::Fast, recover: self.snd_nxt });
+        self.recovery = Some(Recovery {
+            kind: RecoveryKind::Fast,
+            recover: self.snd_nxt,
+        });
         // Retransmit the presumed-lost head segment.
         self.rtx_pending.push_back(self.snd_una);
         // Inflation for the threshold dup ACKs already seen.
@@ -762,11 +825,19 @@ impl TcpSender {
         // Retransmission timeout.
         self.stats.rtos += 1;
         let flight = self.flight_size();
-        self.cc.on_rto(&LossContext { now, flight_size: flight, mss: self.cfg.mss });
+        self.cc.on_rto(&LossContext {
+            now,
+            flight_size: flight,
+            mss: self.cfg.mss,
+        });
+        self.check_cwnd_floor();
         self.rtt.on_timeout();
         self.dup_acks = 0;
         self.inflation = 0;
-        self.recovery = Some(Recovery { kind: RecoveryKind::Rto, recover: self.snd_nxt });
+        self.recovery = Some(Recovery {
+            kind: RecoveryKind::Rto,
+            recover: self.snd_nxt,
+        });
         self.rtx_pending.clear();
         self.rtx_pending.push_back(self.snd_una);
         // RFC 6675 allows keeping the scoreboard across an RTO; we clear
@@ -952,7 +1023,9 @@ mod tests {
         assert!(!r.exited_recovery);
         assert!(s.in_recovery());
         // The hole at the new snd_una is retransmitted without new dup ACKs.
-        let seg = s.poll_segment(SimTime::from_millis(30)).expect("partial-ack rtx");
+        let seg = s
+            .poll_segment(SimTime::from_millis(30))
+            .expect("partial-ack rtx");
         assert!(seg.is_retransmission);
         assert_eq!(seg.offset, 3 * MSS as u64);
     }
@@ -961,7 +1034,10 @@ mod tests {
     fn dup_acks_inflate_window_during_recovery() {
         // NewReno (no SACK): dup ACKs inflate the window one MSS each,
         // capped at cwnd.
-        let cfg = TcpConfig { sack: false, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            sack: false,
+            ..TcpConfig::default()
+        };
         let cc = Box::new(Reno::new(cfg.initial_cwnd, cfg.mss));
         let mut s = TcpSender::new(cfg, cc);
         s.set_unlimited();
@@ -1004,7 +1080,10 @@ mod tests {
         assert_eq!(seg.offset, 0);
         // Backoff doubled the next deadline's distance.
         let rto1 = s.next_timer().unwrap() - deadline;
-        assert!(rto1 >= SimDuration::from_millis(400), "backed-off rto {rto1}");
+        assert!(
+            rto1 >= SimDuration::from_millis(400),
+            "backed-off rto {rto1}"
+        );
     }
 
     #[test]
@@ -1070,7 +1149,10 @@ mod tests {
 
     #[test]
     fn ece_halves_once_per_rtt_and_sets_cwr() {
-        let cfg = TcpConfig { ecn: true, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            ecn: true,
+            ..TcpConfig::default()
+        };
         let cc = Box::new(Reno::new(cfg.initial_cwnd, cfg.mss));
         let mut s = TcpSender::new(cfg, cc);
         s.set_unlimited();
@@ -1094,9 +1176,13 @@ mod tests {
         // Free the window (cwnd was halved below the flight size), then the
         // next data segment carries CWR exactly once.
         s.on_ack(SimTime::from_millis(14), &ack_seg(&s, 9 * MSS as u64, 0));
-        let seg1 = s.poll_segment(SimTime::from_millis(14)).expect("window reopened");
+        let seg1 = s
+            .poll_segment(SimTime::from_millis(14))
+            .expect("window reopened");
         assert!(seg1.seg.flags.cwr);
-        let seg2 = s.poll_segment(SimTime::from_millis(14)).expect("second segment");
+        let seg2 = s
+            .poll_segment(SimTime::from_millis(14))
+            .expect("second segment");
         assert!(!seg2.seg.flags.cwr);
     }
 
@@ -1127,7 +1213,10 @@ mod tests {
         assert_eq!(segs[2].offset, 2 * MSS as u64);
         assert!(!s.is_closed());
         // ACK covering data + phantom byte completes the close.
-        s.on_ack(SimTime::from_millis(10), &ack_seg(&s, 2 * MSS as u64 + 1, 0));
+        s.on_ack(
+            SimTime::from_millis(10),
+            &ack_seg(&s, 2 * MSS as u64 + 1, 0),
+        );
         assert!(s.is_closed());
         assert_eq!(s.flight_size(), 0);
         assert!(s.next_timer().is_none() || s.flight_size() == 0);
@@ -1150,7 +1239,10 @@ mod tests {
         let rtx = s.poll_segment(deadline).expect("FIN retransmission");
         assert!(rtx.seg.flags.fin);
         assert!(rtx.is_retransmission);
-        s.on_ack(deadline + SimDuration::from_millis(5), &ack_seg(&s, MSS as u64 + 1, 0));
+        s.on_ack(
+            deadline + SimDuration::from_millis(5),
+            &ack_seg(&s, MSS as u64 + 1, 0),
+        );
         assert!(s.is_closed());
     }
 

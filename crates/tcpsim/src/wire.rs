@@ -38,8 +38,14 @@ pub struct TcpFlags {
 
 impl TcpFlags {
     /// A plain ACK.
-    pub const ACK: TcpFlags =
-        TcpFlags { syn: false, ack: true, fin: false, rst: false, ece: false, cwr: false };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+        ece: false,
+        cwr: false,
+    };
 
     fn to_byte(self) -> u8 {
         (self.syn as u8)
@@ -211,7 +217,7 @@ impl TcpSegment {
                 opts.put_u16(dss.data_len);
             }
         }
-        while opts.len() % 4 != 0 {
+        while !opts.len().is_multiple_of(4) {
             opts.put_u8(OPT_END);
         }
 
@@ -277,7 +283,10 @@ impl TcpSegment {
                     if len != 10 {
                         return Err(WireError::BadOption(kind));
                     }
-                    seg.ts = Some(Timestamps { tsval: opts.get_u32(), tsecr: opts.get_u32() });
+                    seg.ts = Some(Timestamps {
+                        tsval: opts.get_u32(),
+                        tsecr: opts.get_u32(),
+                    });
                 }
                 OPT_MSS => {
                     if opts.remaining() < 3 {
@@ -294,7 +303,7 @@ impl TcpSegment {
                         return Err(WireError::BadOption(kind));
                     }
                     let len = opts.get_u8() as usize;
-                    if len < 2 || (len - 2) % 8 != 0 || opts.remaining() < len - 2 {
+                    if len < 2 || !(len - 2).is_multiple_of(8) || opts.remaining() < len - 2 {
                         return Err(WireError::BadOption(kind));
                     }
                     let k = (len - 2) / 8;
@@ -325,7 +334,12 @@ impl TcpSegment {
                     } else {
                         (None, 0, 0)
                     };
-                    seg.dss = Some(DssOption { data_ack, dsn, subflow_seq, data_len });
+                    seg.dss = Some(DssOption {
+                        data_ack,
+                        dsn,
+                        subflow_seq,
+                        data_len,
+                    });
                 }
                 other => return Err(WireError::BadOption(other)),
             }
@@ -370,7 +384,11 @@ mod tests {
 
     fn roundtrip(seg: &TcpSegment) -> TcpSegment {
         let bytes = seg.encode();
-        assert_eq!(bytes.len(), seg.header_len(), "header_len must predict encoding");
+        assert_eq!(
+            bytes.len(),
+            seg.header_len(),
+            "header_len must predict encoding"
+        );
         TcpSegment::decode(&bytes).expect("decode")
     }
 
@@ -391,7 +409,10 @@ mod tests {
 
     #[test]
     fn window_granularity_rounds_down() {
-        let seg = TcpSegment { window: 1000, ..Default::default() };
+        let seg = TcpSegment {
+            window: 1000,
+            ..Default::default()
+        };
         let dec = roundtrip(&seg);
         assert_eq!(dec.window, 1000 >> WINDOW_SHIFT << WINDOW_SHIFT);
         assert_eq!(dec.window, 896);
@@ -400,7 +421,10 @@ mod tests {
     #[test]
     fn timestamps_roundtrip() {
         let seg = TcpSegment {
-            ts: Some(Timestamps { tsval: 0xDEADBEEF, tsecr: 0x01020304 }),
+            ts: Some(Timestamps {
+                tsval: 0xDEADBEEF,
+                tsecr: 0x01020304,
+            }),
             window: 128,
             ..Default::default()
         };
@@ -412,7 +436,10 @@ mod tests {
     #[test]
     fn mss_on_syn_roundtrips() {
         let seg = TcpSegment {
-            flags: TcpFlags { syn: true, ..Default::default() },
+            flags: TcpFlags {
+                syn: true,
+                ..Default::default()
+            },
             mss: Some(1460),
             ..Default::default()
         };
@@ -439,7 +466,12 @@ mod tests {
     #[test]
     fn dss_ack_only_roundtrips() {
         let seg = TcpSegment {
-            dss: Some(DssOption { data_ack: Some(999), dsn: None, subflow_seq: 0, data_len: 0 }),
+            dss: Some(DssOption {
+                data_ack: Some(999),
+                dsn: None,
+                subflow_seq: 0,
+                data_len: 0,
+            }),
             ..Default::default()
         };
         assert_eq!(roundtrip(&seg), seg);
@@ -448,7 +480,12 @@ mod tests {
     #[test]
     fn dss_map_only_roundtrips() {
         let seg = TcpSegment {
-            dss: Some(DssOption { data_ack: None, dsn: Some(7), subflow_seq: 9, data_len: 100 }),
+            dss: Some(DssOption {
+                data_ack: None,
+                dsn: Some(7),
+                subflow_seq: 9,
+                data_len: 100,
+            }),
             ..Default::default()
         };
         assert_eq!(roundtrip(&seg), seg);
@@ -457,7 +494,10 @@ mod tests {
     #[test]
     fn all_flags_roundtrip() {
         for bits in 0..64u8 {
-            let seg = TcpSegment { flags: TcpFlags::from_byte(bits), ..Default::default() };
+            let seg = TcpSegment {
+                flags: TcpFlags::from_byte(bits),
+                ..Default::default()
+            };
             assert_eq!(roundtrip(&seg).flags, seg.flags);
         }
     }
@@ -467,7 +507,12 @@ mod tests {
         let mut seg = TcpSegment {
             ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
             sack: (0..3).map(|i| (SeqNum(i), SeqNum(i + 1))).collect(),
-            dss: Some(DssOption { data_ack: Some(1), dsn: None, subflow_seq: 0, data_len: 0 }),
+            dss: Some(DssOption {
+                data_ack: Some(1),
+                dsn: None,
+                subflow_seq: 0,
+                data_len: 0,
+            }),
             ..Default::default()
         };
         assert!(seg.header_len() > 60);
@@ -482,7 +527,9 @@ mod tests {
         for k in 1..=MAX_SACK_BLOCKS {
             let seg = TcpSegment {
                 flags: TcpFlags::ACK,
-                sack: (0..k).map(|i| (SeqNum(100 * i as u32), SeqNum(100 * i as u32 + 50))).collect(),
+                sack: (0..k)
+                    .map(|i| (SeqNum(100 * i as u32), SeqNum(100 * i as u32 + 50)))
+                    .collect(),
                 ts: Some(Timestamps { tsval: 7, tsecr: 8 }),
                 ..Default::default()
             };
@@ -508,26 +555,48 @@ mod tests {
         bytes[12] = 15 << 4;
         assert_eq!(TcpSegment::decode(&bytes), Err(WireError::BadDataOffset));
         // Unknown option kind.
-        let seg = TcpSegment { ts: Some(Timestamps { tsval: 0, tsecr: 0 }), ..Default::default() };
+        let seg = TcpSegment {
+            ts: Some(Timestamps { tsval: 0, tsecr: 0 }),
+            ..Default::default()
+        };
         let mut bytes = seg.encode().to_vec();
         bytes[20] = 99; // clobber the option kind
-        assert!(matches!(TcpSegment::decode(&bytes), Err(WireError::BadOption(99))));
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(WireError::BadOption(99))
+        ));
     }
 
     #[test]
     fn header_len_matches_for_all_option_mixes() {
         let variants = [
             TcpSegment::default(),
-            TcpSegment { ts: Some(Timestamps { tsval: 1, tsecr: 2 }), ..Default::default() },
-            TcpSegment { mss: Some(1460), ..Default::default() },
             TcpSegment {
-                dss: Some(DssOption { data_ack: Some(1), dsn: Some(2), subflow_seq: 3, data_len: 4 }),
+                ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
+                ..Default::default()
+            },
+            TcpSegment {
+                mss: Some(1460),
+                ..Default::default()
+            },
+            TcpSegment {
+                dss: Some(DssOption {
+                    data_ack: Some(1),
+                    dsn: Some(2),
+                    subflow_seq: 3,
+                    data_len: 4,
+                }),
                 ..Default::default()
             },
             TcpSegment {
                 ts: Some(Timestamps { tsval: 1, tsecr: 2 }),
                 mss: Some(536),
-                dss: Some(DssOption { data_ack: None, dsn: Some(2), subflow_seq: 3, data_len: 4 }),
+                dss: Some(DssOption {
+                    data_ack: None,
+                    dsn: Some(2),
+                    subflow_seq: 3,
+                    data_len: 4,
+                }),
                 ..Default::default()
             },
         ];
@@ -544,8 +613,22 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_flags() -> impl Strategy<Value = TcpFlags> {
-        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>())
-            .prop_map(|(syn, ack, fin, rst, ece, cwr)| TcpFlags { syn, ack, fin, rst, ece, cwr })
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(syn, ack, fin, rst, ece, cwr)| TcpFlags {
+                syn,
+                ack,
+                fin,
+                rst,
+                ece,
+                cwr,
+            })
     }
 
     fn arb_ts() -> impl Strategy<Value = Option<Timestamps>> {

@@ -1,0 +1,381 @@
+//! Source preprocessing for simlint.
+//!
+//! Rust is not parsed; instead each file is reduced to a per-line "code
+//! view" with comments and string/char literal *contents* blanked out, so
+//! rules can do token-level matching without tripping on prose. Two side
+//! channels are extracted while scanning:
+//!
+//! * `simlint: allow(...)` pragmas found in line comments, and
+//! * the set of lines inside `#[cfg(test)]` items (tracked by matching the
+//!   braces of the item that follows the attribute).
+//!
+//! The lexer is deliberately conservative: when in doubt it keeps text in
+//! the code view (a false positive is visible and suppressible; a silent
+//! false negative is not).
+
+/// A parsed `// simlint: allow(rule, reason = "...")` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowPragma {
+    /// 1-based line the pragma appears on.
+    pub line: usize,
+    /// Rule id being allowed, e.g. `"unwrap"`.
+    pub rule: String,
+    /// The justification string; empty means the pragma is malformed.
+    pub reason: String,
+    /// True if the pragma's line has no code, so it covers the next line.
+    pub standalone: bool,
+}
+
+/// Result of preprocessing one file.
+#[derive(Debug, Default)]
+pub struct SourceView {
+    /// Code per line: comments and literal contents blanked, length preserved
+    /// where practical (literal contents become spaces, delimiters remain).
+    pub code_lines: Vec<String>,
+    /// Raw lines, for excerpts in reports.
+    pub raw_lines: Vec<String>,
+    /// Allow pragmas, in file order.
+    pub pragmas: Vec<AllowPragma>,
+    /// `in_test[i]` is true when 0-based line `i` is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceView {
+    /// True if 1-based `line` is inside a `#[cfg(test)]` region.
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Whether a violation of `rule` on 1-based `line` is suppressed by a
+    /// well-formed pragma on the same line or a standalone pragma just above.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.pragmas.iter().any(|p| {
+            p.rule == rule
+                && !p.reason.is_empty()
+                && (p.line == line || (p.standalone && p.line + 1 == line))
+        })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Preprocess a file's text.
+pub fn scan(text: &str) -> SourceView {
+    let mut view = SourceView::default();
+    let mut mode = Mode::Code;
+
+    for raw_line in text.lines() {
+        view.raw_lines.push(raw_line.to_string());
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match (c, next) {
+                    ('/', Some('/')) => {
+                        comment.push_str(&raw_line[byte_pos(&chars, i)..]);
+                        mode = Mode::LineComment;
+                        i = chars.len();
+                        continue;
+                    }
+                    ('/', Some('*')) => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    ('r', Some('"')) | ('r', Some('#')) if is_raw_string_start(&chars, i) => {
+                        let hashes = count_hashes(&chars, i + 1);
+                        code.push_str("\"\"");
+                        mode = Mode::RawStr(hashes);
+                        i += 2 + hashes as usize; // r, hashes, opening quote
+                        continue;
+                    }
+                    ('b', Some('"')) => {
+                        code.push_str("\"\"");
+                        mode = Mode::Str;
+                        i += 2;
+                        continue;
+                    }
+                    ('"', _) => {
+                        code.push_str("\"\"");
+                        mode = Mode::Str;
+                        i += 1;
+                        continue;
+                    }
+                    ('\'', _) if is_char_literal(&chars, i) => {
+                        code.push_str("' '");
+                        mode = Mode::Char;
+                        i += 1;
+                        continue;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::LineComment => unreachable!("line comments consume the rest of the line"),
+                Mode::BlockComment(depth) => match (c, next) {
+                    ('*', Some('/')) => {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    }
+                    ('/', Some('*')) => {
+                        mode = Mode::BlockComment(depth + 1);
+                        i += 2;
+                    }
+                    _ => i += 1,
+                },
+                Mode::Str => match (c, next) {
+                    ('\\', Some(_)) => i += 2,
+                    ('"', _) => {
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && hashes_follow(&chars, i + 1, hashes) {
+                        mode = Mode::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Char => match (c, next) {
+                    ('\\', Some(_)) => i += 2,
+                    ('\'', _) => {
+                        mode = Mode::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+            }
+        }
+        // A string/char literal cannot span lines unless raw/escaped; reset
+        // the char mode defensively so one bad parse doesn't eat the file.
+        if mode == Mode::Char {
+            mode = Mode::Code;
+        }
+        if mode == Mode::LineComment {
+            mode = Mode::Code;
+        }
+
+        let line_no = view.raw_lines.len();
+        if let Some(pragma) = parse_pragma(&comment, line_no, code.trim().is_empty()) {
+            view.pragmas.push(pragma);
+        }
+        view.code_lines.push(code);
+    }
+
+    view.in_test = mark_test_regions(&view.code_lines);
+    view
+}
+
+fn byte_pos(chars: &[char], idx: usize) -> usize {
+    chars[..idx].iter().map(|c| c.len_utf8()).sum()
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"` — and the `r` must not be part of a longer identifier.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn hashes_follow(chars: &[char], mut i: usize, n: u32) -> bool {
+    for _ in 0..n {
+        if chars.get(i) != Some(&'#') {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// Distinguish `'a'` (char literal) from `'a` (lifetime): a lifetime is a
+/// quote followed by an identifier NOT closed by another quote.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(c) if c.is_alphanumeric() || *c == '_' => chars.get(i + 2) == Some(&'\''),
+        Some(_) => true, // punctuation char literal like '(' or ' '
+        None => false,
+    }
+}
+
+/// Parse `simlint: allow(rule, reason = "...")` out of a line comment.
+fn parse_pragma(comment: &str, line: usize, standalone: bool) -> Option<AllowPragma> {
+    let at = comment.find("simlint:")?;
+    let rest = comment[at + "simlint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, rest)) => {
+            let rest = rest.trim_start();
+            let reason = rest
+                .strip_prefix("reason")
+                .and_then(|s| s.trim_start().strip_prefix('='))
+                .map(|s| s.trim().trim_matches('"').to_string())
+                .unwrap_or_default();
+            (r.trim().to_string(), reason)
+        }
+        None => (inner.trim().to_string(), String::new()),
+    };
+    Some(AllowPragma {
+        line,
+        rule,
+        reason,
+        standalone,
+    })
+}
+
+/// Mark lines covered by `#[cfg(test)]` items by brace-matching the item
+/// that follows each attribute.
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut li = 0usize;
+    while li < code_lines.len() {
+        if let Some(col) = code_lines[li].find("#[cfg(test)]") {
+            let (end_line, _) = match_item_braces(code_lines, li, col);
+            for flag in in_test.iter_mut().take(end_line + 1).skip(li) {
+                *flag = true;
+            }
+            li = end_line + 1;
+        } else {
+            li += 1;
+        }
+    }
+    in_test
+}
+
+/// From the attribute position, find the `{` that opens the following item
+/// and return the (line, depth-balanced) end of that item.
+fn match_item_braces(code_lines: &[String], start_line: usize, start_col: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (li, line) in code_lines.iter().enumerate().skip(start_line) {
+        let text: &str = if li == start_line {
+            &line[start_col..]
+        } else {
+            line
+        };
+        for c in text.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                // An item ending in `;` before any brace (e.g. `#[cfg(test)] use x;`)
+                // covers just through that line.
+                ';' if !opened => return (li, true),
+                _ => {}
+            }
+            if opened && depth == 0 {
+                return (li, true);
+            }
+        }
+    }
+    (code_lines.len().saturating_sub(1), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let v = scan("let x = \"HashMap\"; // HashMap in comment\nlet y = 'I';\n");
+        assert!(!v.code_lines[0].contains("HashMap"));
+        assert!(v.code_lines[0].contains("let x"));
+        assert!(!v.code_lines[1].contains('I'));
+    }
+
+    #[test]
+    fn keeps_code_around_raw_strings() {
+        let v = scan("let s = r#\"Instant::now()\"#; foo();\n");
+        assert!(!v.code_lines[0].contains("Instant"));
+        assert!(v.code_lines[0].contains("foo()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(v.code_lines[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let v = scan("a(); /* outer /* inner */ still comment\nstill */ b();\n");
+        assert!(v.code_lines[0].contains("a()"));
+        assert!(!v.code_lines[0].contains("still"));
+        assert!(!v.code_lines[1].contains("still"));
+        assert!(v.code_lines[1].contains("b()"));
+    }
+
+    #[test]
+    fn parses_pragmas() {
+        let v = scan(
+            "x.unwrap(); // simlint: allow(unwrap, reason = \"bounded above\")\n\
+             // simlint: allow(hash-iter, reason = \"order irrelevant\")\n\
+             y();\n\
+             z(); // simlint: allow(unwrap)\n",
+        );
+        assert!(v.allowed("unwrap", 1));
+        assert!(
+            v.allowed("hash-iter", 3),
+            "standalone pragma covers next line"
+        );
+        assert!(!v.allowed("hash-iter", 1));
+        assert!(!v.allowed("unwrap", 4), "pragma without reason is inert");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let v = scan(src);
+        assert!(!v.line_in_test(1));
+        assert!(v.line_in_test(2));
+        assert!(v.line_in_test(4));
+        assert!(v.line_in_test(5));
+        assert!(!v.line_in_test(6));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)] use foo::Bar;\nfn prod() {}\n";
+        let v = scan(src);
+        assert!(v.line_in_test(1));
+        assert!(!v.line_in_test(2));
+    }
+}

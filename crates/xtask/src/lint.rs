@@ -1,0 +1,190 @@
+//! simlint driver: file discovery, rule dispatch, and report formatting.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{self, Violation};
+
+/// Aggregated lint result.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl Violation {
+    /// One-line human rendering, `file:line: [rule] message`.
+    pub fn display(&self, _root: &Path) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Report {
+    /// Machine-readable rendering. Hand-rolled JSON: the workspace has no
+    /// serializer dependency and the schema is flat.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                json_escape(v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"files_checked\": {},\n  \"count\": {}\n}}",
+            self.files_checked,
+            self.violations.len()
+        ));
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Discover the workspace's own Rust sources: `crates/*/`, root `src/`, and
+/// root `tests/`. `vendor/` (offline stand-ins) and `target/` are excluded.
+/// Sorted for deterministic reports.
+pub fn workspace_source_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = BTreeSet::new();
+    for top in ["crates", "src", "tests"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.into_iter().collect()
+}
+
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+}
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`: every
+/// `crates/*/src/lib.rs` or `crates/*/src/main.rs`, plus the root `src/lib.rs`.
+fn is_crate_root(rel: &str) -> bool {
+    let p = rel.replace('\\', "/");
+    p == "src/lib.rs"
+        || p == "src/main.rs"
+        || (p.starts_with("crates/")
+            && (p.ends_with("/src/lib.rs") || p.ends_with("/src/main.rs"))
+            && p.matches('/').count() == 3)
+}
+
+/// Lint the given files (absolute or root-relative paths).
+pub fn run(root: &Path, paths: &[PathBuf]) -> Report {
+    let mut report = Report::default();
+    for path in paths {
+        let abs = if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        };
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(text) = std::fs::read_to_string(&abs) else {
+            report.violations.push(Violation {
+                rule: "io",
+                file: rel.clone(),
+                line: 0,
+                message: "could not read file".to_string(),
+            });
+            continue;
+        };
+        report.files_checked += 1;
+        let view = lexer::scan(&text);
+        report.violations.extend(rules::check_file(&rel, &view));
+        if is_crate_root(&rel) {
+            report
+                .violations
+                .extend(rules::check_crate_root(&rel, &view));
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_detection() {
+        assert!(is_crate_root("crates/netsim/src/lib.rs"));
+        assert!(is_crate_root("crates/xtask/src/main.rs"));
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(!is_crate_root("crates/netsim/src/sim.rs"));
+        assert!(!is_crate_root("crates/netsim/src/bin/lib.rs"));
+        assert!(!is_crate_root("tests/lib.rs"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let mut r = Report {
+            files_checked: 1,
+            ..Default::default()
+        };
+        r.violations.push(Violation {
+            rule: "unwrap",
+            file: "a\"b.rs".to_string(),
+            line: 3,
+            message: "x".to_string(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("a\\\"b.rs"));
+    }
+
+    #[test]
+    fn run_reports_unreadable_files() {
+        let r = run(
+            Path::new("/nonexistent-root"),
+            &[PathBuf::from("missing.rs")],
+        );
+        assert_eq!(r.files_checked, 0);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "io");
+    }
+}

@@ -1,0 +1,105 @@
+//! Workspace automation binary (`cargo run -p xtask -- <command>`).
+//!
+//! Commands:
+//!
+//! * `lint [--json] [paths...]` — run the simlint determinism & invariant
+//!   analysis pass over the workspace sources (or over explicit paths).
+//!   Exits 0 when clean, 1 when violations are found, 2 on usage errors.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod lint;
+mod rules;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`");
+            eprintln!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+                println!();
+                println!("Rules:");
+                for rule in rules::RULES {
+                    println!("  {:<16} {}", rule.id, rule.summary);
+                }
+                println!();
+                println!("Suppress a finding on its line (or the line above) with:");
+                println!("  // simlint: allow(<rule>, reason = \"...\")");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("xtask lint: unknown flag `{flag}`");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.into()),
+        }
+    }
+
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("xtask lint: could not locate workspace root (no Cargo.toml with [workspace] found)");
+            return ExitCode::from(2);
+        }
+    };
+    if paths.is_empty() {
+        paths = lint::workspace_source_files(&root);
+    }
+
+    let report = lint::run(&root, &paths);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for v in &report.violations {
+            println!("{}", v.display(&root));
+        }
+        println!(
+            "simlint: {} file(s) checked, {} violation(s)",
+            report.files_checked,
+            report.violations.len()
+        );
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Find the workspace root: walk up from the current directory looking for a
+/// `Cargo.toml` containing a `[workspace]` table.
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The simlint rule set.
+//!
+//! Each rule is a line-level check over the lexer's code view (comments and
+//! literal contents already blanked). Rules are scoped per crate kind:
+//! simulation crates must stay on virtual time and deterministic iteration
+//! order; protocol crates must not panic on untrusted input. Suppress a
+//! finding with `// simlint: allow(<rule>, reason = "...")` on the same
+//! line, or on its own line directly above.
+
+use crate::lexer::SourceView;
+
+/// Where a file lives, which determines which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// Event-driven simulation code: `simbase`, `netsim`, `simtrace`,
+    /// `overlap-core`, and the root facade. Determinism rules apply.
+    Sim,
+    /// Protocol state machines: `tcpsim`, `mptcpsim`. Determinism rules plus
+    /// the no-panic rule apply.
+    Protocol,
+    /// Numeric code (`lpsolve`): determinism + no-panic rules apply; it
+    /// feeds expected values into the simulation.
+    Numeric,
+    /// Benches, figure binaries, xtask itself: only portability-neutral
+    /// rules (float-eq, forbid-unsafe assertion via manifest scan).
+    Tooling,
+}
+
+impl CrateKind {
+    /// Classify a workspace-relative path.
+    pub fn classify(rel_path: &str) -> CrateKind {
+        let p = rel_path.replace('\\', "/");
+        if p.starts_with("crates/tcpsim/") || p.starts_with("crates/mptcpsim/") {
+            CrateKind::Protocol
+        } else if p.starts_with("crates/lpsolve/") {
+            CrateKind::Numeric
+        } else if p.starts_with("crates/bench/") || p.starts_with("crates/xtask/") {
+            CrateKind::Tooling
+        } else {
+            // simbase, netsim, simtrace, core, root src/ and tests/.
+            CrateKind::Sim
+        }
+    }
+}
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id, e.g. `"wall-clock"`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+/// Static description of one rule, for `--help` and docs.
+pub struct RuleInfo {
+    /// Stable id used in pragmas and JSON output.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// All rules, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        summary:
+            "no std::time::{Instant, SystemTime} in simulation/protocol crates (virtual time only)",
+    },
+    RuleInfo {
+        id: "hash-iter",
+        summary:
+            "no HashMap/HashSet in event-ordering code; use BTreeMap/BTreeSet or sort explicitly",
+    },
+    RuleInfo {
+        id: "float-eq",
+        summary: "no == / != on floating-point values; compare with an explicit tolerance",
+    },
+    RuleInfo {
+        id: "unwrap",
+        summary: "no unwrap()/expect() in protocol/numeric crates outside #[cfg(test)]",
+    },
+    RuleInfo {
+        id: "forbid-unsafe",
+        summary: "every workspace crate root must carry #![forbid(unsafe_code)]",
+    },
+];
+
+/// Run all line-level rules over one file.
+pub fn check_file(rel_path: &str, view: &SourceView) -> Vec<Violation> {
+    let kind = CrateKind::classify(rel_path);
+    let is_test_file = {
+        let p = rel_path.replace('\\', "/");
+        p.starts_with("tests/") || p.contains("/tests/") || p.contains("/benches/")
+    };
+    let mut out = Vec::new();
+
+    for (idx, code) in view.code_lines.iter().enumerate() {
+        let line = idx + 1;
+        let in_test = is_test_file || view.line_in_test(line);
+
+        // wall-clock: applies to all but tooling crates, tests included —
+        // even test code must not let wall time influence the simulation.
+        if kind != CrateKind::Tooling {
+            for ident in ["Instant", "SystemTime"] {
+                if contains_word(code, ident) && !view.allowed("wall-clock", line) {
+                    out.push(Violation {
+                        rule: "wall-clock",
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "`{ident}` is wall-clock time; simulation code must use virtual \
+                             time (simbase::SimTime)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // hash-iter: non-test code in sim/protocol/numeric crates.
+        if kind != CrateKind::Tooling && !in_test {
+            for ty in ["HashMap", "HashSet"] {
+                if contains_word(code, ty) && !view.allowed("hash-iter", line) {
+                    out.push(Violation {
+                        rule: "hash-iter",
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "`{ty}` iteration order is unspecified and per-process; use \
+                             BTreeMap/BTreeSet or sort before iterating"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // float-eq: everywhere outside tests (tests may assert exact
+        // reproducibility of identical computations).
+        if !in_test {
+            if let Some(msg) = float_eq_finding(code) {
+                if !view.allowed("float-eq", line) {
+                    out.push(Violation {
+                        rule: "float-eq",
+                        file: rel_path.to_string(),
+                        line,
+                        message: msg,
+                    });
+                }
+            }
+        }
+
+        // unwrap: protocol and numeric crates, non-test code.
+        if matches!(
+            kind,
+            CrateKind::Protocol | CrateKind::Numeric | CrateKind::Sim
+        ) && !in_test
+        {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) && !view.allowed("unwrap", line) {
+                    out.push(Violation {
+                        rule: "unwrap",
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "`{}` can panic mid-simulation; handle the None/Err case or \
+                             document impossibility with an allow pragma",
+                            pat.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Check a crate root (`lib.rs`/`main.rs`) for the `forbid(unsafe_code)` attribute.
+pub fn check_crate_root(rel_path: &str, view: &SourceView) -> Vec<Violation> {
+    let has = view
+        .code_lines
+        .iter()
+        .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+    if has {
+        Vec::new()
+    } else {
+        vec![Violation {
+            rule: "forbid-unsafe",
+            file: rel_path.to_string(),
+            line: 1,
+            message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+        }]
+    }
+}
+
+/// Whole-word containment: `needle` bounded by non-identifier chars.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = !hay[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Detect `==` / `!=` with a float literal or float cast on either side.
+fn float_eq_finding(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        if two == "==" || two == "!=" {
+            // Skip `<=`, `>=`, `!=` handled, `===` impossible in Rust; avoid
+            // matching the tail of `<=`/`>=`/`==` chains.
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            if prev == b'<' || prev == b'>' || prev == b'=' || prev == b'!' {
+                i += 1;
+                continue;
+            }
+            if bytes.get(i + 2) == Some(&b'=') {
+                i += 3;
+                continue;
+            }
+            let lhs = last_token(&code[..i]);
+            let rhs = first_token(&code[i + 2..]);
+            for side in [&lhs, &rhs] {
+                if is_float_token(side) {
+                    return Some(format!(
+                        "floating-point `{two}` against `{side}`; use an epsilon comparison \
+                         (e.g. (a - b).abs() < tol)"
+                    ));
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn last_token(s: &str) -> String {
+    s.trim_end()
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '.' || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect()
+}
+
+fn first_token(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '.' || *c == '_' || *c == '-')
+        .collect()
+}
+
+/// A token that is definitely a float: has a digit and either a decimal
+/// point or an `f32`/`f64` suffix, or is an explicit float cast result.
+fn is_float_token(tok: &str) -> bool {
+    let t = tok.trim_start_matches('-');
+    if t.is_empty() || !t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    let has_digit = t.chars().any(|c| c.is_ascii_digit());
+    let looks_float = t.contains('.') || t.ends_with("f32") || t.ends_with("f64");
+    has_digit && looks_float && !t.contains("..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, &scan(src))
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_sim_crates() {
+        let v = check("crates/netsim/src/sim.rs", "let t = Instant::now();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
+        assert!(
+            check("crates/netsim/src/sim.rs", "use std::time::SystemTime;\n")
+                .iter()
+                .any(|v| v.rule == "wall-clock")
+        );
+        // Tooling crates may measure wall time.
+        assert!(check("crates/bench/benches/lp.rs", "let t = Instant::now();\n").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allow_pragma() {
+        let src =
+            "let t = Instant::now(); // simlint: allow(wall-clock, reason = \"host profiling\")\n";
+        assert!(check("crates/netsim/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_flagged_outside_tests() {
+        let v = check(
+            "crates/netsim/src/routing.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "hash-iter").count(), 2);
+        // Same type inside #[cfg(test)] is fine.
+        let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashSet;\n}\n";
+        assert!(check("crates/netsim/src/routing.rs", src).is_empty());
+        // BTreeMap is the sanctioned alternative.
+        assert!(check(
+            "crates/netsim/src/routing.rs",
+            "use std::collections::BTreeMap;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hash_iter_word_boundaries() {
+        assert!(check("crates/netsim/src/x.rs", "struct MyHashMapLike;\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        let v = check(
+            "crates/lpsolve/src/model.rs",
+            "if coeff == 0.0 { skip(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-eq");
+        assert!(!check("crates/lpsolve/src/model.rs", "if x != 1.5f64 { y(); }\n").is_empty());
+        // Integer comparisons and ranges are fine.
+        assert!(check("crates/lpsolve/src/model.rs", "if n == 0 { y(); }\n").is_empty());
+        assert!(check("crates/lpsolve/src/model.rs", "for i in 0..10 { }\n").is_empty());
+        assert!(check("crates/lpsolve/src/model.rs", "if a <= 1.0 { }\n").is_empty());
+    }
+
+    #[test]
+    fn float_eq_allow_pragma() {
+        let src = "// simlint: allow(float-eq, reason = \"exact sentinel\")\nif x == 0.0 { }\n";
+        assert!(check("crates/lpsolve/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_in_protocol_crates() {
+        let v = check("crates/tcpsim/src/sender.rs", "let x = q.pop().unwrap();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+        assert!(!check(
+            "crates/mptcpsim/src/dsn.rs",
+            "map.get(&k).expect(\"present\");\n"
+        )
+        .is_empty());
+        // Test modules and tests/ files are exempt.
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(check("crates/tcpsim/src/sender.rs", src).is_empty());
+        assert!(check("tests/protocol_invariants.rs", "x.unwrap();\n")
+            .iter()
+            .all(|v| v.rule != "unwrap"));
+    }
+
+    #[test]
+    fn unwrap_allow_pragma() {
+        let src = "q.pop().unwrap() // simlint: allow(unwrap, reason = \"len checked above\")\n";
+        assert!(check("crates/tcpsim/src/sender.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_rule() {
+        let ok = scan("#![forbid(unsafe_code)]\nfn main() {}\n");
+        assert!(check_crate_root("crates/bench/src/lib.rs", &ok).is_empty());
+        let bad = scan("fn main() {}\n");
+        let v = check_crate_root("crates/bench/src/lib.rs", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "let s = \"HashMap Instant .unwrap()\"; // HashMap Instant == 1.0\n";
+        assert!(check("crates/netsim/src/x.rs", src).is_empty());
+    }
+}

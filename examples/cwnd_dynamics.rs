@@ -9,8 +9,7 @@
 //! Run: `cargo run --example cwnd_dynamics --release`
 
 use mptcp_overlap::mptcpsim::{
-    common_destination, install_subflows, CcAlgo, MptcpConfig, MptcpReceiverAgent,
-    MptcpSenderAgent,
+    common_destination, install_subflows, CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent,
 };
 use mptcp_overlap::netsim::{CaptureConfig, RoutingTables, Simulator};
 use mptcp_overlap::prelude::*;
@@ -58,7 +57,13 @@ fn main() {
                 }
             }
             // Subflow order is default-first; map back to path labels.
-            let path = if sf == 0 { 2 } else if sf == 1 { 1 } else { 3 };
+            let path = if sf == 0 {
+                2
+            } else if sf == 1 {
+                1
+            } else {
+                3
+            };
             series.push(simtrace::TimeSeries::new(
                 format!("Path {path} cwnd"),
                 SimTime::ZERO,
@@ -67,12 +72,18 @@ fn main() {
             ));
         }
         let refs: Vec<&simtrace::TimeSeries> = series.iter().collect();
-        println!("== {} — subflow congestion windows (packets) ==", algo.name());
+        println!(
+            "== {} — subflow congestion windows (packets) ==",
+            algo.name()
+        );
         print!(
             "{}",
             simtrace::ascii_chart(
                 &refs,
-                &simtrace::ChartOptions { y_label: "cwnd [pkts]".into(), ..Default::default() }
+                &simtrace::ChartOptions {
+                    y_label: "cwnd [pkts]".into(),
+                    ..Default::default()
+                }
             )
         );
         println!();

@@ -58,14 +58,22 @@ fn main() {
         // the hash of the port pair picks the spine, exactly like a real
         // fabric.
         let subflows: Vec<SubflowConfig> = (0..n_subflows)
-            .map(|i| SubflowConfig { tag: Tag::NONE, src_port: 40_000 + i, dst_port: 80 })
+            .map(|i| SubflowConfig {
+                tag: Tag::NONE,
+                src_port: 40_000 + i,
+                dst_port: 80,
+            })
             .collect();
         let cfg = MptcpConfig {
             join_delay: SimDuration::from_millis(1),
             ..MptcpConfig::bulk(host_b, subflows)
         };
         sim.add_agent(host_a, Box::new(MptcpSenderAgent::new(cfg)), SimTime::ZERO);
-        sim.add_agent(host_b, Box::new(MptcpReceiverAgent::default()), SimTime::ZERO);
+        sim.add_agent(
+            host_b,
+            Box::new(MptcpReceiverAgent::default()),
+            SimTime::ZERO,
+        );
         let end = SimTime::from_secs(4);
         sim.run_until(end);
 
@@ -83,11 +91,13 @@ fn main() {
         // How many distinct spines did the subflows cover?
         let used = uplinks
             .iter()
-            .filter(|&&l| sim.link_stats(l, mptcp_overlap::netsim::Dir::AtoB).tx_packets > 100)
+            .filter(|&&l| {
+                sim.link_stats(l, mptcp_overlap::netsim::Dir::AtoB)
+                    .tx_packets
+                    > 100
+            })
             .count();
-        println!(
-            "{n_subflows} subflow(s): {mbps:>6.1} Mbps across {used} of 3 spines (max 300)"
-        );
+        println!("{n_subflows} subflow(s): {mbps:>6.1} Mbps across {used} of 3 spines (max 300)");
     }
     println!(
         "\nMore subflows -> more ECMP buckets covered -> higher aggregate, the\n\

@@ -12,7 +12,9 @@
 use mptcp_overlap::mptcpsim::{
     common_destination, install_subflows, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent,
 };
-use mptcp_overlap::netsim::{CaptureConfig, Path, QueueConfig, RoutingTables, Simulator, Tag, Topology};
+use mptcp_overlap::netsim::{
+    CaptureConfig, Path, QueueConfig, RoutingTables, Simulator, Tag, Topology,
+};
 use mptcp_overlap::prelude::*;
 use mptcp_overlap::simtrace::{SamplerConfig, ThroughputSampler};
 
@@ -73,7 +75,10 @@ fn main() {
         .unwrap()
         .downcast_ref::<MptcpSenderAgent>()
         .unwrap();
-    println!("\nbytes reinjected onto the surviving subflow: {}", sender.stats().bytes_reinjected);
+    println!(
+        "\nbytes reinjected onto the surviving subflow: {}",
+        sender.stats().bytes_reinjected
+    );
     println!(
         "a single-path TCP connection on path 1 would have been dead for 4 seconds;\n\
          MPTCP rescheduled the stranded data and kept the application stream moving."

@@ -3,8 +3,8 @@
 //!
 //! Run: `cargo run --example paper_figure2 --release`
 
-use mptcp_overlap::prelude::*;
 use mptcp_overlap::overlap_core::FIG2_SEED;
+use mptcp_overlap::prelude::*;
 
 fn main() {
     // (a) CUBIC at 100 ms sampling over 4 s.

@@ -23,7 +23,10 @@ fn main() {
 
     // 2. The ground truth: the max-throughput linear program.
     let lp = net.lp_optimum();
-    println!("\nLP optimum: {:.0} Mbps, split {:?}\n", lp.total_mbps, lp.per_path_mbps);
+    println!(
+        "\nLP optimum: {:.0} Mbps, split {:?}\n",
+        lp.total_mbps, lp.per_path_mbps
+    );
 
     // 3. Simulate MPTCP (uncoupled CUBIC, minRTT scheduler, iperf-style
     //    unlimited source) for four seconds — the paper's Figure 2a setup.
@@ -35,7 +38,10 @@ fn main() {
     .run();
 
     // 4. Report.
-    print!("{}", render_run("quickstart — MPTCP/CUBIC on the paper network", &result));
+    print!(
+        "{}",
+        render_run("quickstart — MPTCP/CUBIC on the paper network", &result)
+    );
     println!(
         "\nJain fairness of the steady split: {:.3}",
         simtrace::jain_fairness(&result.per_path_steady_mbps)

@@ -16,7 +16,11 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>14} {:>12}",
         "scheduler", "total Mbps", "efficiency", "dup DSN bytes", "drops"
     );
-    for sched in [SchedulerKind::MinRtt, SchedulerKind::RoundRobin, SchedulerKind::Redundant] {
+    for sched in [
+        SchedulerKind::MinRtt,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::Redundant,
+    ] {
         let net = PaperNetwork::new();
         let result = Scenario {
             default_path: net.default_path,

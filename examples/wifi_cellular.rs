@@ -16,11 +16,35 @@ fn build() -> (Topology, Vec<Path>) {
     let server = t.add_node("server");
     let q = QueueConfig::DropTailPackets(64);
     // Wi-Fi: fast and near.
-    t.add_link(phone, wifi_ap, Bandwidth::from_mbps(50), SimDuration::from_millis(3), q);
-    t.add_link(wifi_ap, server, Bandwidth::from_mbps(100), SimDuration::from_millis(7), q);
+    t.add_link(
+        phone,
+        wifi_ap,
+        Bandwidth::from_mbps(50),
+        SimDuration::from_millis(3),
+        q,
+    );
+    t.add_link(
+        wifi_ap,
+        server,
+        Bandwidth::from_mbps(100),
+        SimDuration::from_millis(7),
+        q,
+    );
     // LTE: slower and farther.
-    t.add_link(phone, lte_enb, Bandwidth::from_mbps(20), SimDuration::from_millis(15), q);
-    t.add_link(lte_enb, server, Bandwidth::from_mbps(100), SimDuration::from_millis(20), q);
+    t.add_link(
+        phone,
+        lte_enb,
+        Bandwidth::from_mbps(20),
+        SimDuration::from_millis(15),
+        q,
+    );
+    t.add_link(
+        lte_enb,
+        server,
+        Bandwidth::from_mbps(100),
+        SimDuration::from_millis(20),
+        q,
+    );
     let wifi = Path::from_nodes(&t, &[phone, wifi_ap, server]).unwrap();
     let lte = Path::from_nodes(&t, &[phone, lte_enb, server]).unwrap();
     (t, vec![wifi, lte])

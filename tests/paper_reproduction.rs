@@ -2,8 +2,8 @@
 //! truth and the Figure-2 measurement shapes, exercised through the public
 //! facade crate exactly as a downstream user would.
 
-use mptcp_overlap::prelude::*;
 use mptcp_overlap::overlap_core::FIG2_SEED;
+use mptcp_overlap::prelude::*;
 
 #[test]
 fn figure_1c_lp_optimum_is_90_with_the_papers_split() {
@@ -39,26 +39,40 @@ fn greedy_fill_is_the_pareto_trap_the_paper_describes() {
         &[1, 0, 2], // start from the default path (Path 2)
     );
     let total: f64 = greedy.iter().sum();
-    assert!(total < 90.0 - 5.0, "greedy from Path 2 must be clearly suboptimal: {total}");
+    assert!(
+        total < 90.0 - 5.0,
+        "greedy from Path 2 must be clearly suboptimal: {total}"
+    );
     // And it is Pareto-optimal: no single rate can grow.
     let sol = net.lp_optimum();
     for i in 0..3 {
         let mut bumped = greedy.clone();
         bumped[i] += 1.0;
-        assert!(!sol.is_feasible(&bumped, 1e-6), "greedy must be Pareto (path {i} bumpable)");
+        assert!(
+            !sol.is_feasible(&bumped, 1e-6),
+            "greedy must be Pareto (path {i} bumpable)"
+        );
     }
 }
 
 #[test]
 fn figure_2a_cubic_approaches_the_optimum() {
     let r = fig2a(FIG2_SEED);
-    assert!(r.efficiency() > 0.8, "CUBIC efficiency {:.2}", r.efficiency());
+    assert!(
+        r.efficiency() > 0.8,
+        "CUBIC efficiency {:.2}",
+        r.efficiency()
+    );
     assert!(
         r.convergence.converged_at.is_some(),
         "CUBIC should reach the optimum band within 4 s"
     );
     // Physical sanity: the measured allocation is LP-feasible.
-    assert!(r.is_physically_consistent(3.0), "{:?}", r.per_path_steady_mbps);
+    assert!(
+        r.is_physically_consistent(3.0),
+        "{:?}",
+        r.per_path_steady_mbps
+    );
 }
 
 #[test]
@@ -72,9 +86,16 @@ fn figure_2a_default_path_saturates_first() {
     let p1 = r.per_path[0].mean_over(SimTime::ZERO, early);
     let p3 = r.per_path[2].mean_over(SimTime::ZERO, early);
     assert!(p2 > 20.0, "Path 2 must ramp in 100 ms: {p2:.1}");
-    assert!(p1 < 5.0 && p3 < 5.0, "other paths join later: {p1:.1} / {p3:.1}");
+    assert!(
+        p1 < 5.0 && p3 < 5.0,
+        "other paths join later: {p1:.1} / {p3:.1}"
+    );
     // And Path 2 peaks near its 40 Mbps bottleneck within the window.
-    assert!(r.per_path[1].max() > 33.0, "Path 2 peak {:.1}", r.per_path[1].max());
+    assert!(
+        r.per_path[1].max() > 33.0,
+        "Path 2 peak {:.1}",
+        r.per_path[1].max()
+    );
 }
 
 #[test]
@@ -96,7 +117,11 @@ fn runs_are_reproducible_end_to_end() {
     assert_eq!(a.total.values(), b.total.values());
     assert_eq!(a.drops, b.drops);
     let c = fig2a(124);
-    assert_ne!(a.total.values(), c.total.values(), "different seeds must differ");
+    assert_ne!(
+        a.total.values(),
+        c.total.values(),
+        "different seeds must differ"
+    );
 }
 
 #[test]

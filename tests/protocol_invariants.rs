@@ -5,9 +5,7 @@ use mptcp_overlap::mptcpsim::{
     common_destination, install_subflows, CcAlgo, MptcpConfig, MptcpReceiverAgent,
     MptcpSenderAgent, SchedulerKind,
 };
-use mptcp_overlap::netsim::{
-    CaptureConfig, Path, QueueConfig, RoutingTables, Simulator, Topology,
-};
+use mptcp_overlap::netsim::{CaptureConfig, Path, QueueConfig, RoutingTables, Simulator, Topology};
 use mptcp_overlap::prelude::*;
 use mptcp_overlap::tcpsim::AppSource;
 use proptest::prelude::*;
@@ -27,10 +25,34 @@ fn two_path_net(
     let b = t.add_node("b");
     let d = t.add_node("d");
     let q = QueueConfig::DropTailPackets(queue);
-    t.add_link(s, a, Bandwidth::from_mbps(cap1), SimDuration::from_millis(delay1_ms), q);
-    t.add_link(a, d, Bandwidth::from_mbps(cap1), SimDuration::from_millis(delay1_ms), q);
-    t.add_link(s, b, Bandwidth::from_mbps(cap2), SimDuration::from_millis(delay2_ms), q);
-    t.add_link(b, d, Bandwidth::from_mbps(cap2), SimDuration::from_millis(delay2_ms), q);
+    t.add_link(
+        s,
+        a,
+        Bandwidth::from_mbps(cap1),
+        SimDuration::from_millis(delay1_ms),
+        q,
+    );
+    t.add_link(
+        a,
+        d,
+        Bandwidth::from_mbps(cap1),
+        SimDuration::from_millis(delay1_ms),
+        q,
+    );
+    t.add_link(
+        s,
+        b,
+        Bandwidth::from_mbps(cap2),
+        SimDuration::from_millis(delay2_ms),
+        q,
+    );
+    t.add_link(
+        b,
+        d,
+        Bandwidth::from_mbps(cap2),
+        SimDuration::from_millis(delay2_ms),
+        q,
+    );
     let p1 = Path::from_nodes(&t, &[s, a, d]).unwrap();
     let p2 = Path::from_nodes(&t, &[s, b, d]).unwrap();
     (t, vec![p1, p2])
@@ -125,7 +147,11 @@ fn overlapping_random_networks_respect_their_lp() {
             .with_seed(seed)
             .with_timing(SimDuration::from_secs(4), SimDuration::from_millis(100))
             .run();
-        assert!(r.is_physically_consistent(3.0), "seed {seed}: {:?}", r.per_path_steady_mbps);
+        assert!(
+            r.is_physically_consistent(3.0),
+            "seed {seed}: {:?}",
+            r.per_path_steady_mbps
+        );
         assert!(
             r.steady_total_mbps() > 0.3 * r.lp.total_mbps,
             "seed {seed}: implausibly low throughput {:.1} of {:.1}",

@@ -39,17 +39,29 @@ fn run_one_flow(
     let cfg = TcpConfig::default();
     sim.add_agent(
         s,
-        Box::new(TcpSenderAgent::new(cfg, cc, AppSource::Unlimited, d, Tag::NONE)),
+        Box::new(TcpSenderAgent::new(
+            cfg,
+            cc,
+            AppSource::Unlimited,
+            d,
+            Tag::NONE,
+        )),
         SimTime::ZERO,
     );
-    sim.add_agent(d, Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)), SimTime::ZERO);
+    sim.add_agent(
+        d,
+        Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)),
+        SimTime::ZERO,
+    );
     let end = SimTime::from_secs(secs);
     sim.run_until(end);
     let bytes: u64 = sim
         .captures()
         .iter()
         .filter(|c| {
-            c.kind == CaptureKind::Delivered && c.pkt.data_len > 0 && c.time >= SimTime::from_secs(1)
+            c.kind == CaptureKind::Delivered
+                && c.pkt.data_len > 0
+                && c.time >= SimTime::from_secs(1)
         })
         .map(|c| c.pkt.wire_size as u64)
         .sum();
@@ -60,7 +72,13 @@ fn run_one_flow(
 fn cubic_fills_links_across_capacities() {
     for cap in [5u64, 20, 50] {
         let cfg = TcpConfig::default();
-        let mbps = run_one_flow(cap, 5, 64, Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)), 4);
+        let mbps = run_one_flow(
+            cap,
+            5,
+            64,
+            Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss)),
+            4,
+        );
         assert!(
             mbps > 0.88 * cap as f64 && mbps <= cap as f64 * 1.01,
             "cap {cap}: measured {mbps:.2}"
@@ -73,7 +91,13 @@ fn reno_and_vegas_fill_a_moderate_link() {
     let cfg = TcpConfig::default();
     let reno = run_one_flow(10, 5, 64, Box::new(Reno::new(cfg.initial_cwnd, cfg.mss)), 4);
     assert!(reno > 8.5, "reno {reno:.2}");
-    let vegas = run_one_flow(10, 5, 64, Box::new(Vegas::new(cfg.initial_cwnd, cfg.mss)), 4);
+    let vegas = run_one_flow(
+        10,
+        5,
+        64,
+        Box::new(Vegas::new(cfg.initial_cwnd, cfg.mss)),
+        4,
+    );
     assert!(vegas > 8.0, "vegas {vegas:.2}");
 }
 
@@ -96,7 +120,11 @@ fn vegas_keeps_queues_short() {
         )),
         SimTime::ZERO,
     );
-    sim.add_agent(d, Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)), SimTime::ZERO);
+    sim.add_agent(
+        d,
+        Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)),
+        SimTime::ZERO,
+    );
     sim.run_until(SimTime::from_secs(4));
     let vegas_drops = sim.stats().packets_dropped;
     assert!(vegas_drops < 30, "vegas should barely drop: {vegas_drops}");
@@ -111,5 +139,9 @@ fn single_path_mptcp_equals_plain_tcp() {
         .with_timing(SimDuration::from_secs(4), SimDuration::from_millis(100))
         .run();
     assert!((r.lp.total_mbps - 10.0).abs() < 1e-6);
-    assert!(r.efficiency() > 0.85, "single-subflow MPTCP eff {:.2}", r.efficiency());
+    assert!(
+        r.efficiency() > 0.85,
+        "single-subflow MPTCP eff {:.2}",
+        r.efficiency()
+    );
 }

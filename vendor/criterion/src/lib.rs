@@ -1,0 +1,145 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the API subset the workspace's benches use — [`Criterion`],
+//! `benchmark_group`, `bench_function`, [`Bencher::iter`], `sample_size`,
+//! `finish`, and the [`criterion_group!`]/[`criterion_main!`] macros — as a
+//! plain wall-clock runner: each benchmark is timed over a fixed number of
+//! batches and the mean per-iteration time is printed. No statistics,
+//! plots, or baselines. Bench binaries still accept (and ignore) the
+//! `--bench` flag cargo passes.
+//!
+//! Note: this crate intentionally uses `std::time::Instant` — it measures
+//! real elapsed time and is not part of the simulation, which must stay on
+//! virtual time (`simlint` enforces that for the sim crates only).
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            samples: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark (criterion's "samples").
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time one benchmark closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_per_batch: 1,
+            total_nanos: 0,
+            total_iters: 0,
+        };
+        // Warm-up batch; also sizes batches so short closures are timed in bulk.
+        f(&mut b);
+        b.calibrate();
+        b.total_nanos = 0;
+        b.total_iters = 0;
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let mean = b.total_nanos as f64 / b.total_iters.max(1) as f64;
+        println!(
+            "  {name:<32} {:>12.1} ns/iter ({} iters)",
+            mean, b.total_iters
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timer handed to the closure.
+pub struct Bencher {
+    iters_per_batch: u64,
+    total_nanos: u128,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Run and time the routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_batch {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.total_iters += self.iters_per_batch;
+    }
+
+    /// After the warm-up batch, pick a batch size targeting ~10 ms per batch.
+    fn calibrate(&mut self) {
+        let per_iter = self.total_nanos / u128::from(self.total_iters.max(1));
+        self.iters_per_batch = (10_000_000 / per_iter.max(1)).clamp(1, 100_000) as u64;
+    }
+}
+
+/// Bundle benchmark functions under one name, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes `--bench`; a real criterion also parses filters.
+            let _args: Vec<String> = std::env::args().collect();
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_a_trivial_bench() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io, and nothing in the
+//! workspace actually drives a serde serializer (there is no data-format
+//! crate in the dependency graph) — the derives exist so downstream users
+//! of the simulator types *could* serialize them. This stub keeps the same
+//! source-level API surface:
+//!
+//! * `Serialize` / `Deserialize` marker traits with blanket impls, so any
+//!   `T: Serialize` bound is satisfied;
+//! * re-exported no-op derive macros from the sibling `serde_derive` stub.
+//!
+//! Swapping the real serde back in is a two-line change in the workspace
+//! `Cargo.toml`; no source file needs to change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain-old-data types
+//! but never serializes through a serde data format inside this repository
+//! (no `serde_json`/`bincode` dependency exists). This proc-macro crate
+//! accepts the same derive syntax — including `#[serde(...)]` field and
+//! container attributes — and expands to nothing; the sibling `serde` stub
+//! provides blanket trait impls so `T: Serialize` bounds remain satisfied.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
