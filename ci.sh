@@ -15,4 +15,14 @@ cargo run -p xtask --offline --quiet -- lint
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> sweep-runner smoke test (release, serial vs pooled must match)"
+cargo build --release --offline -q -p bench
+OVERLAP_WORKERS=1 ./target/release/table1_results 3 2 2>/dev/null >/tmp/sweep_serial.txt
+OVERLAP_WORKERS=4 ./target/release/table1_results 3 2 2>/dev/null >/tmp/sweep_pooled.txt
+cmp /tmp/sweep_serial.txt /tmp/sweep_pooled.txt || {
+    echo "sweep runner output differs between 1 and 4 workers" >&2
+    exit 1
+}
+rm -f /tmp/sweep_serial.txt /tmp/sweep_pooled.txt
+
 echo "CI OK"

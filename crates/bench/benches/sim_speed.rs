@@ -37,5 +37,38 @@ fn bench_paper_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_paper_run);
+/// The sweep runner on a 6-cell paper sweep: serial vs. worker pool. On a
+/// multi-core host the parallel variant should approach serial / cores;
+/// on a single-core host the two should tie (pool overhead is noise
+/// relative to a simulation run).
+fn bench_sweep_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    let spec = || SweepSpec {
+        default_paths: vec![1],
+        seeds: (0..3).collect(),
+        ..SweepSpec::paper(
+            &[CcAlgo::Cubic, CcAlgo::Olia],
+            0..0,
+            SimDuration::from_millis(300),
+        )
+    };
+    group.bench_function("paper_6cells_serial", |b| {
+        let spec = spec();
+        b.iter(|| {
+            let outcome = run_sweep(&spec, &RunnerConfig::serial());
+            std::hint::black_box(outcome.results.len())
+        })
+    });
+    group.bench_function("paper_6cells_pool", |b| {
+        let spec = spec();
+        b.iter(|| {
+            let outcome = run_sweep(&spec, &RunnerConfig::auto());
+            std::hint::black_box(outcome.results.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_run, bench_sweep_runner);
 criterion_main!(benches);

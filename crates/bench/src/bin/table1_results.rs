@@ -5,21 +5,43 @@
 //! CUBIC always reaches the optimum (then wobbles); LIA never; OLIA only
 //! for one default path, slowly (~20 s), then stably.
 //!
-//! Run: `cargo run -p bench --bin table1_results --release [seeds] [secs]`
+//! Runs execute on the parallel sweep runner; the table is byte-identical
+//! for any worker count.
+//!
+//! Run: `cargo run -p bench --bin table1_results --release [seeds] [secs] [workers]`
+//! (workers: 0 = all cores; also settable via `OVERLAP_WORKERS`).
 
 use mptcpsim::CcAlgo;
 use overlap_core::prelude::*;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seeds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
-    eprintln!("running {seeds} seeds x 3 algorithms x 3 default paths x {secs}s ...");
-    let rows = results_table(
+    let cfg = match args.get(3).and_then(|s| s.parse::<usize>().ok()) {
+        Some(workers) => RunnerConfig {
+            workers,
+            progress: true,
+        },
+        None => RunnerConfig::from_env().with_progress(true),
+    };
+    eprintln!(
+        "running {seeds} seeds x 3 algorithms x 3 default paths x {secs}s on {} worker(s) ...",
+        match cfg.workers {
+            0 => "auto".to_string(),
+            n => n.to_string(),
+        }
+    );
+    let started = Instant::now();
+    let rows = results_table_with(
         &[CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia],
         0..seeds,
         SimDuration::from_secs(secs),
+        &cfg,
     );
+    let elapsed = started.elapsed().as_secs_f64();
     print!("{}", render_table(&rows));
     println!("\nLP optimum: 90.0 Mbps; band = within 15% (sustained to end of run).");
+    eprintln!("wall clock: {elapsed:.1}s");
 }

@@ -6,6 +6,10 @@
 //!   a bottleneck) across algorithms.
 //!
 //! Run: `cargo run -p bench --bin table2_sweep --release`
+//!
+//! Every multi-run section executes on the parallel sweep runner
+//! (`overlap_core::runner`); worker count follows `OVERLAP_WORKERS`
+//! (default: all cores) and never changes the printed numbers.
 
 use mptcpsim::CcAlgo;
 use overlap_core::prelude::*;
@@ -21,17 +25,22 @@ fn paper_scenario() -> Scenario {
 }
 
 fn main() {
+    let cfg = RunnerConfig::from_env();
+
     println!("--- scheduler ablation (CUBIC, paper network, 15 s) ---");
-    for sched in [
+    let scheds = [
         SchedulerKind::MinRtt,
         SchedulerKind::RoundRobin,
         SchedulerKind::Redundant,
-    ] {
-        let r = Scenario {
-            scheduler: sched,
+    ];
+    let scenarios: Vec<Scenario> = scheds
+        .iter()
+        .map(|&scheduler| Scenario {
+            scheduler,
             ..paper_scenario()
-        }
-        .run();
+        })
+        .collect();
+    for (sched, r) in scheds.iter().zip(run_scenarios(&scenarios, &cfg)) {
         println!(
             "{:<11} steady {:>5.1} Mbps  eff {:>3.0}%  dup-bytes {:>9}",
             format!("{sched:?}"),
@@ -42,22 +51,26 @@ fn main() {
     }
 
     println!("\n--- SACK ablation (paper network, 15 s) ---");
-    for algo in [CcAlgo::Cubic, CcAlgo::Lia] {
-        for sack in [true, false] {
-            let r = Scenario {
-                sack,
-                ..paper_scenario().with_algo(algo)
-            }
-            .run();
-            println!(
-                "{:<6} sack={:<5} steady {:>5.1} Mbps  eff {:>3.0}%  rtx {:>6}",
-                algo.name(),
-                sack,
-                r.steady_total_mbps(),
-                r.efficiency() * 100.0,
-                r.subflow_stats.iter().map(|s| s.retransmits).sum::<u64>(),
-            );
-        }
+    let cases: Vec<(CcAlgo, bool)> = [CcAlgo::Cubic, CcAlgo::Lia]
+        .iter()
+        .flat_map(|&algo| [(algo, true), (algo, false)])
+        .collect();
+    let scenarios: Vec<Scenario> = cases
+        .iter()
+        .map(|&(algo, sack)| Scenario {
+            sack,
+            ..paper_scenario().with_algo(algo)
+        })
+        .collect();
+    for (&(algo, sack), r) in cases.iter().zip(run_scenarios(&scenarios, &cfg)) {
+        println!(
+            "{:<6} sack={:<5} steady {:>5.1} Mbps  eff {:>3.0}%  rtx {:>6}",
+            algo.name(),
+            sack,
+            r.steady_total_mbps(),
+            r.efficiency() * 100.0,
+            r.subflow_stats.iter().map(|s| s.retransmits).sum::<u64>(),
+        );
     }
 
     println!("\n--- AQM / ECN ablation (CUBIC, paper network, 15 s) ---");
@@ -162,21 +175,29 @@ fn main() {
         "algo", "mean eff", "min eff", "paths"
     );
     for paths in [3usize, 4] {
-        for algo in [CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia] {
-            let mut effs = Vec::new();
-            for seed in 0..10u64 {
-                let net = RandomOverlapNet::generate(&RandomOverlapConfig {
-                    paths,
-                    seed,
-                    ..Default::default()
-                });
-                let r = Scenario::new(net.topology, net.paths)
-                    .with_algo(algo)
-                    .with_seed(seed)
-                    .with_timing(SimDuration::from_secs(15), SimDuration::from_millis(100))
-                    .run();
-                effs.push(r.efficiency());
-            }
+        let algos = [CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia];
+        let seeds = 0..10u64;
+        // Expansion order (topology -> algo -> default_path -> seed) keeps
+        // the cells in the same order as the old serial loop, and each
+        // seed value generates a fresh random topology instance.
+        let spec = SweepSpec {
+            topologies: vec![TopologySpec::RandomOverlap(RandomOverlapConfig {
+                paths,
+                ..Default::default()
+            })],
+            algos: algos.to_vec(),
+            default_paths: vec![0],
+            seeds: seeds.clone().collect(),
+            duration: SimDuration::from_secs(15),
+            sample_bin: SimDuration::from_millis(100),
+        };
+        let n = spec.seeds.len();
+        let outcome = run_sweep(&spec, &cfg);
+        for (ai, algo) in algos.iter().enumerate() {
+            let effs: Vec<f64> = outcome.results[ai * n..(ai + 1) * n]
+                .iter()
+                .map(|r| r.efficiency())
+                .collect();
             let mean = effs.iter().sum::<f64>() / effs.len() as f64;
             let min = effs.iter().copied().fold(f64::INFINITY, f64::min);
             println!(

@@ -73,7 +73,11 @@ impl fmt::Display for DeterminismReport {
     }
 }
 
-fn observe(a: &RunResult, b: &RunResult) -> DeterminismReport {
+/// Compare the observables of two runs that are supposed to be identical.
+/// This is the comparison [`double_run`] applies to back-to-back serial
+/// runs; the sweep runner's `parallel_matches_serial` harness applies the
+/// same comparison across execution engines (serial vs. worker pool).
+pub fn compare_runs(a: &RunResult, b: &RunResult) -> DeterminismReport {
     DeterminismReport {
         trace_hash: [a.trace_hash, b.trace_hash],
         events: [a.events, b.events],
@@ -88,7 +92,7 @@ fn observe(a: &RunResult, b: &RunResult) -> DeterminismReport {
 pub fn double_run(scenario: &Scenario) -> (RunResult, DeterminismReport) {
     let a = scenario.run();
     let b = scenario.run();
-    let report = observe(&a, &b);
+    let report = compare_runs(&a, &b);
     (a, report)
 }
 

@@ -9,6 +9,7 @@
 //! | E5 | Results §3 — which algorithms find the optimum | [`results_table`] |
 
 use crate::paper::{PaperNetwork, PaperNetworkConfig};
+use crate::runner::{run_sweep, RunnerConfig, SweepSpec};
 use crate::scenario::{RunResult, Scenario};
 use mptcpsim::CcAlgo;
 use simbase::SimDuration;
@@ -70,7 +71,10 @@ pub struct ResultsRow {
     pub mean_total_mbps: f64,
     /// Mean efficiency (total / LP optimum).
     pub mean_efficiency: f64,
-    /// Mean convergence time over converged runs, seconds.
+    /// Mean convergence time in seconds **over converged runs only** —
+    /// runs that never reached the optimum band are excluded from this
+    /// mean, not counted as the full duration ([`Self::converged_fraction`]
+    /// says how many runs contribute). `None` when no run converged.
     pub mean_convergence_s: Option<f64>,
     /// Mean post-convergence coefficient of variation (instability).
     pub mean_cov: f64,
@@ -82,50 +86,95 @@ pub struct ResultsRow {
 /// with the given duration. The paper's qualitative claims map to:
 /// CUBIC rows ≈ converged everywhere; LIA rows ≈ never; OLIA ≈ only with
 /// Path 2 default (and slowly).
+///
+/// Runs execute on the parallel sweep runner with the worker count from
+/// [`RunnerConfig::from_env`] (`OVERLAP_WORKERS`, default: all cores);
+/// rows are identical for any worker count. Use [`results_table_with`] to
+/// control execution explicitly.
 pub fn results_table(
     algos: &[CcAlgo],
     seeds: std::ops::Range<u64>,
     duration: SimDuration,
 ) -> Vec<ResultsRow> {
-    let mut rows = Vec::new();
-    for &algo in algos {
-        for default_path in 0..3 {
-            let mut converged = 0usize;
-            let mut total = 0.0;
-            let mut eff = 0.0;
-            let mut conv_times = Vec::new();
-            let mut cov = 0.0;
-            let mut n = 0usize;
-            for seed in seeds.clone() {
-                let result = paper_scenario(default_path, algo, seed)
-                    .with_timing(duration, SimDuration::from_millis(100))
-                    .run();
-                n += 1;
-                total += result.steady_total_mbps();
-                eff += result.efficiency();
-                cov += result.convergence.steady_cov;
-                if let Some(t) = result.convergence.converged_at {
-                    converged += 1;
-                    conv_times.push(t.as_secs_f64());
-                }
-            }
-            rows.push(ResultsRow {
+    results_table_with(algos, seeds, duration, &RunnerConfig::from_env())
+}
+
+/// [`results_table`] with explicit execution parameters. The sweep is the
+/// cartesian product algo × default path (0..3) × seed over the paper
+/// network, executed by [`crate::runner::run_sweep`]; per-cell results are
+/// aggregated per (algo, default path) row in spec order, so rows — and
+/// every per-run `trace_hash` behind them — are byte-identical whether
+/// `cfg` says 1 worker or N.
+pub fn results_table_with(
+    algos: &[CcAlgo],
+    seeds: std::ops::Range<u64>,
+    duration: SimDuration,
+    cfg: &RunnerConfig,
+) -> Vec<ResultsRow> {
+    let spec = SweepSpec::paper(algos, seeds, duration);
+    let outcome = run_sweep(&spec, cfg);
+    let n = spec.seeds.len();
+    let mut rows = Vec::with_capacity(algos.len() * spec.default_paths.len());
+    for (ai, &algo) in algos.iter().enumerate() {
+        for (pi, &default_path) in spec.default_paths.iter().enumerate() {
+            let base = (ai * spec.default_paths.len() + pi) * n;
+            rows.push(summarize_row(
                 algo,
                 default_path,
-                converged_fraction: converged as f64 / n as f64,
-                mean_total_mbps: total / n as f64,
-                mean_efficiency: eff / n as f64,
-                mean_convergence_s: if conv_times.is_empty() {
-                    None
-                } else {
-                    Some(conv_times.iter().sum::<f64>() / conv_times.len() as f64)
-                },
-                mean_cov: cov / n as f64,
-                seeds: n,
-            });
+                &outcome.results[base..base + n],
+            ));
         }
     }
     rows
+}
+
+/// Fold one (algo, default path) cell's per-seed results into a row.
+/// An empty seed range yields a well-defined all-zero row (`seeds: 0`)
+/// rather than NaN-poisoned means from a 0/0 division.
+fn summarize_row(algo: CcAlgo, default_path: usize, runs: &[RunResult]) -> ResultsRow {
+    let n = runs.len();
+    if n == 0 {
+        return ResultsRow {
+            algo,
+            default_path,
+            converged_fraction: 0.0,
+            mean_total_mbps: 0.0,
+            mean_efficiency: 0.0,
+            mean_convergence_s: None,
+            mean_cov: 0.0,
+            seeds: 0,
+        };
+    }
+    let mut converged = 0usize;
+    let mut total = 0.0;
+    let mut eff = 0.0;
+    let mut conv_times = Vec::new();
+    let mut cov = 0.0;
+    for result in runs {
+        total += result.steady_total_mbps();
+        eff += result.efficiency();
+        cov += result.convergence.steady_cov;
+        if let Some(t) = result.convergence.converged_at {
+            converged += 1;
+            conv_times.push(t.as_secs_f64());
+        }
+    }
+    ResultsRow {
+        algo,
+        default_path,
+        converged_fraction: converged as f64 / n as f64,
+        mean_total_mbps: total / n as f64,
+        mean_efficiency: eff / n as f64,
+        // Converged runs only (see the field docs): an unconverged run has
+        // no convergence time, so it cannot contribute to this mean.
+        mean_convergence_s: if conv_times.is_empty() {
+            None
+        } else {
+            Some(conv_times.iter().sum::<f64>() / conv_times.len() as f64)
+        },
+        mean_cov: cov / n as f64,
+        seeds: n,
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +211,72 @@ mod tests {
         // Within 0.5 s the default path has saturated: peak total well
         // above Path 2's 40 Mbps cap alone.
         assert!(r.total.max() > 40.0, "max {:.1}", r.total.max());
+    }
+
+    #[test]
+    fn empty_seed_range_yields_zero_rows_not_nan() {
+        let rows = results_table(
+            &[CcAlgo::Cubic, CcAlgo::Lia],
+            0..0,
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(rows.len(), 6, "one row per (algo, default path) cell");
+        for r in &rows {
+            assert_eq!(r.seeds, 0);
+            assert_eq!(r.converged_fraction, 0.0);
+            assert_eq!(r.mean_total_mbps, 0.0);
+            assert_eq!(r.mean_efficiency, 0.0);
+            assert_eq!(r.mean_convergence_s, None);
+            assert!(r.mean_cov == 0.0 && !r.mean_cov.is_nan());
+        }
+        // The rendered table must also be NaN-free.
+        let rendered = crate::report::render_table(&rows);
+        assert!(!rendered.contains("NaN"), "{rendered}");
+    }
+
+    #[test]
+    fn results_table_is_worker_count_invariant() {
+        let args = (&[CcAlgo::Cubic][..], 0..2u64, SimDuration::from_millis(500));
+        let serial = results_table_with(args.0, args.1.clone(), args.2, &RunnerConfig::serial());
+        let parallel = results_table_with(
+            args.0,
+            args.1,
+            args.2,
+            &RunnerConfig {
+                workers: 3,
+                progress: false,
+            },
+        );
+        // Byte-identical rendering, not just close floats: aggregation
+        // must consume results in spec order on any worker count.
+        assert_eq!(
+            crate::report::render_table(&serial),
+            crate::report::render_table(&parallel)
+        );
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.mean_total_mbps.to_bits(), b.mean_total_mbps.to_bits());
+            assert_eq!(a.mean_efficiency.to_bits(), b.mean_efficiency.to_bits());
+        }
+    }
+
+    #[test]
+    fn mean_convergence_averages_converged_runs_only() {
+        use crate::scenario::RunResult;
+        // Synthetic check on the aggregation itself: two converged runs
+        // (1 s, 3 s) and one unconverged run must average to 2 s, not
+        // (1 + 3 + duration)/3 or (1 + 3 + 0)/3.
+        let template = fig2c(FIG2_SEED); // any real result to clone shape from
+        let with_conv = |at: Option<f64>| -> RunResult {
+            let mut r = template.clone();
+            r.convergence.converged_at = at.map(simbase::SimTime::from_secs_f64);
+            r
+        };
+        let runs = vec![with_conv(Some(1.0)), with_conv(None), with_conv(Some(3.0))];
+        let row = super::summarize_row(CcAlgo::Cubic, 0, &runs);
+        assert_eq!(row.seeds, 3);
+        assert!((row.converged_fraction - 2.0 / 3.0).abs() < 1e-12);
+        let mean = row.mean_convergence_s.expect("two runs converged");
+        assert!((mean - 2.0).abs() < 1e-9, "converged-only mean, got {mean}");
     }
 
     #[test]

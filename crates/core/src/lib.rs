@@ -12,6 +12,9 @@
 //!   table, plus sweeps used by the benchmark binaries.
 //! * [`randomnet`] — generalized overlapping topologies (every pair of
 //!   paths shares one bottleneck) for beyond-the-paper experiments.
+//! * [`runner`] — the deterministic parallel sweep engine: declarative
+//!   cartesian-product specs fanned across a worker pool, results in spec
+//!   order, LP ground truth memoized.
 //! * [`report`] — terminal rendering (ASCII charts, summary tables).
 //!
 //! ```no_run
@@ -35,20 +38,33 @@ pub mod experiments;
 pub mod paper;
 pub mod randomnet;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 
-pub use determinism::{assert_deterministic, double_run, DeterminismReport};
-pub use experiments::{fig2a, fig2b, fig2b_long, fig2c, results_table, ResultsRow, FIG2_SEED};
+pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
+pub use experiments::{
+    fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow, FIG2_SEED,
+};
 pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
 pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};
+pub use runner::{
+    parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
+    SweepSpec, TopologySpec,
+};
 pub use scenario::{CrossTraffic, RunResult, Scenario};
 
 /// The most frequently used types, re-exported for glob import.
 pub mod prelude {
-    pub use crate::experiments::{fig2a, fig2b, fig2b_long, fig2c, results_table, ResultsRow};
+    pub use crate::experiments::{
+        fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow,
+    };
     pub use crate::paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
     pub use crate::randomnet::{RandomOverlapConfig, RandomOverlapNet};
     pub use crate::report::{render_run, render_table};
+    pub use crate::runner::{
+        parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
+        SweepSpec, TopologySpec,
+    };
     pub use crate::scenario::{CrossTraffic, RunResult, Scenario};
     pub use mptcpsim::{CcAlgo, SchedulerKind};
     pub use netsim::{Path, QueueConfig, Topology};

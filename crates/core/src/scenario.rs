@@ -112,6 +112,17 @@ impl Scenario {
 
     /// Execute the scenario.
     pub fn run(&self) -> RunResult {
+        self.run_with_lp_cache(None)
+    }
+
+    /// Execute the scenario, resolving the LP ground truth through `cache`
+    /// when one is given. Sweeps over many (algo, seed, default-path) cells
+    /// share one topology family, so the runner threads a shared
+    /// [`lpsolve::LpCache`] through here and the hundreds of identical
+    /// `lp_optimum` solves collapse to one. Results are identical with and
+    /// without a cache (asserted by the runner test suite): the cache key
+    /// pins every input of the solve.
+    pub fn run_with_lp_cache(&self, lp_cache: Option<&lpsolve::LpCache>) -> RunResult {
         assert!(!self.paths.is_empty(), "need at least one path");
         assert!(
             self.default_path < self.paths.len(),
@@ -141,7 +152,10 @@ impl Scenario {
             })
             .collect();
 
-        let lp = lpsolve::solve_max_throughput(&self.topology, &self.paths);
+        let lp = match lp_cache {
+            Some(cache) => cache.solve(&self.topology, &self.paths),
+            None => lpsolve::solve_max_throughput(&self.topology, &self.paths),
+        };
 
         let mut sim = Simulator::new(self.topology.clone(), routing, self.seed);
         sim.set_capture(CaptureConfig::receiver_side(dst));
@@ -205,27 +219,24 @@ impl Scenario {
             );
         }
 
-        // tshark step: bin receiver-side deliveries per tag.
+        // tshark step: bin receiver-side deliveries per tag. Every
+        // registered tag is pre-seeded so a fully starved path still shows
+        // up as an (all-zero) series in per-path reports.
         let sampler = ThroughputSampler::from_records(
             sim.captures(),
-            &SamplerConfig::tshark_like(dst, self.sample_bin, end),
+            &SamplerConfig::tshark_like(dst, self.sample_bin, end)
+                .with_tags((0..self.paths.len()).map(|i| Tag(1 + i as u16))),
         );
-        let nbins = (self.duration.as_nanos())
-            .div_ceil(self.sample_bin.as_nanos())
-            .max(1) as usize;
         let per_path: Vec<TimeSeries> = (0..self.paths.len())
-            .map(|i| match sampler.tag(Tag(1 + i as u16)) {
-                Some(s) => {
-                    let mut s = s.clone();
-                    s.label = format!("Path {}", i + 1);
-                    s
-                }
-                None => TimeSeries::new(
-                    format!("Path {}", i + 1),
-                    SimTime::ZERO,
-                    self.sample_bin,
-                    vec![0.0; nbins],
-                ),
+            .map(|i| {
+                let tag = Tag(1 + i as u16);
+                let mut s = sampler
+                    .tag(tag)
+                    // simlint: allow(unwrap, reason = "every path tag was pre-seeded into the sampler above")
+                    .expect("pre-seeded tag series")
+                    .clone();
+                s.label = format!("Path {}", i + 1);
+                s
             })
             .collect();
         let total = TimeSeries::sum_of("Total", &per_path.iter().collect::<Vec<_>>());
@@ -419,6 +430,52 @@ mod tests {
         assert_eq!(r.total.len(), 40); // 4 s / 100 ms
         for s in &r.per_path {
             assert_eq!(s.len(), 40);
+        }
+    }
+
+    #[test]
+    fn starved_path_keeps_a_zero_series() {
+        // Starve Path 3 (near-total loss on its exclusive first hop —
+        // netsim requires loss < 1): it delivers nothing in the window,
+        // but it must still appear in per-path series and
+        // per_path_steady_mbps instead of silently vanishing.
+        let net = PaperNetwork::new();
+        let mut topo = net.topology.clone();
+        let s = topo.node_by_name("s").unwrap();
+        let v4 = topo.node_by_name("v4").unwrap();
+        let link = topo.link_between(s, v4).unwrap();
+        topo.set_link_loss(link, 0.999_999);
+        let r = Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(topo, net.paths)
+        }
+        .with_timing(SimDuration::from_millis(500), SimDuration::from_millis(100))
+        .run();
+        assert_eq!(r.per_path.len(), 3);
+        assert_eq!(r.per_path[2].label, "Path 3");
+        assert_eq!(r.per_path[2].len(), 5);
+        assert_eq!(r.per_path[2].mean(), 0.0, "starved path delivers nothing");
+        assert_eq!(r.per_path_steady_mbps.len(), 3);
+        assert_eq!(r.per_path_steady_mbps[2], 0.0);
+        // The surviving paths still move data.
+        assert!(r.data_delivered > 0);
+    }
+
+    #[test]
+    fn lp_cache_does_not_change_results() {
+        let cache = lpsolve::LpCache::new();
+        let scenario = paper_scenario(CcAlgo::Cubic)
+            .with_timing(SimDuration::from_millis(300), SimDuration::from_millis(100));
+        let plain = scenario.run();
+        let warm = scenario.run_with_lp_cache(Some(&cache));
+        let cached = scenario.run_with_lp_cache(Some(&cache));
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        for r in [&warm, &cached] {
+            assert_eq!(r.trace_hash, plain.trace_hash);
+            assert_eq!(r.lp.total_mbps, plain.lp.total_mbps);
+            assert_eq!(r.lp.per_path_mbps, plain.lp.per_path_mbps);
+            assert_eq!(r.total.values(), plain.total.values());
         }
     }
 

@@ -11,15 +11,19 @@
 //! * [`flow`] — automatic extraction of the max-throughput LP from a
 //!   `netsim` topology + path set, plus the greedy-fill baseline the paper
 //!   contrasts against, and tight-constraint (bottleneck) reporting.
+//! * [`cache`] — a thread-safe memo table keyed by the canonicalized
+//!   constraint set, so parameter sweeps solve each distinct LP once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod flow;
 pub mod model;
 pub mod num;
 pub mod simplex;
 
+pub use cache::{LpCache, LpCacheStats};
 pub use flow::{max_throughput_lp, solve_max_throughput, MaxThroughput};
 pub use model::{Constraint, LinearProgram, Sense};
 pub use num::{LpNum, Rational, F64_EPS};

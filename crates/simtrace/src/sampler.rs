@@ -25,6 +25,11 @@ pub struct SamplerConfig {
     /// on the receiver side ACKs of the reverse direction would pollute
     /// per-tag accounting).
     pub data_only: bool,
+    /// Tags that must get a series even if the capture never delivered a
+    /// packet for them. Without pre-seeding, a fully starved subflow
+    /// silently vanishes from `per_tag` — and from every per-path report
+    /// built on it. Scenario runners should list every registered tag here.
+    pub ensure_tags: Vec<Tag>,
 }
 
 impl SamplerConfig {
@@ -35,7 +40,14 @@ impl SamplerConfig {
             at_node: Some(at),
             horizon,
             data_only: true,
+            ensure_tags: Vec::new(),
         }
+    }
+
+    /// Builder-style: pre-seed a zero series for each of `tags`.
+    pub fn with_tags(mut self, tags: impl IntoIterator<Item = Tag>) -> Self {
+        self.ensure_tags = tags.into_iter().collect();
+        self
     }
 }
 
@@ -57,6 +69,11 @@ impl ThroughputSampler {
     pub fn from_records(records: &[CaptureRecord], cfg: &SamplerConfig) -> Self {
         let nbins = (cfg.horizon.as_nanos()).div_ceil(cfg.bin.as_nanos()).max(1) as usize;
         let mut bytes_per_tag: BTreeMap<Tag, Vec<u64>> = BTreeMap::new();
+        for &tag in &cfg.ensure_tags {
+            bytes_per_tag
+                .entry(tag)
+                .or_insert_with(|| vec![0u64; nbins]);
+        }
         let mut packets = 0u64;
         let mut bytes = 0u64;
 
@@ -85,11 +102,28 @@ impl ThroughputSampler {
         }
 
         let bin_secs = cfg.bin.as_secs_f64();
-        let to_mbps = |b: u64| (b as f64) * 8.0 / bin_secs / 1e6;
+        // When the horizon is not a whole number of bins, the final bin only
+        // covers `horizon mod bin` of time. Dividing its bytes by the full
+        // bin width would under-report the rate over the window the bin
+        // actually observed, so scale it by its true width.
+        let last_rem_nanos = cfg.horizon.as_nanos() % cfg.bin.as_nanos();
+        let last_secs = if last_rem_nanos == 0 {
+            bin_secs
+        } else {
+            SimDuration::from_nanos(last_rem_nanos).as_secs_f64()
+        };
+        let to_mbps = |i: usize, b: u64| {
+            let width = if i + 1 == nbins { last_secs } else { bin_secs };
+            (b as f64) * 8.0 / width / 1e6
+        };
         let per_tag: BTreeMap<Tag, TimeSeries> = bytes_per_tag
             .into_iter()
             .map(|(tag, bins)| {
-                let vals: Vec<f64> = bins.into_iter().map(to_mbps).collect();
+                let vals: Vec<f64> = bins
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, b)| to_mbps(i, b))
+                    .collect();
                 (
                     tag,
                     TimeSeries::new(format!("tag {}", tag.0), SimTime::ZERO, cfg.bin, vals),
@@ -216,6 +250,86 @@ mod tests {
         assert_eq!(s.total.len(), 10);
         assert_eq!(s.total.mean(), 0.0);
         assert!(s.tag(Tag(1)).is_none());
+    }
+
+    #[test]
+    fn partial_final_bin_scales_by_true_width() {
+        // Horizon 250 ms, bin 100 ms: bins [0,100), [100,200), [200,250).
+        // The last bin observes only 50 ms, so its rate divisor must be
+        // 50 ms — with the full-bin divisor, 12_500 bytes would read as
+        // 1 Mbps instead of the true 2 Mbps.
+        let cfg = SamplerConfig::tshark_like(
+            NodeId(5),
+            SimDuration::from_millis(100),
+            SimTime::from_millis(250),
+        );
+        let records = vec![
+            rec(10, 5, 1, 12_500, 12_000, CaptureKind::Delivered), // bin 0
+            rec(210, 5, 1, 12_500, 12_000, CaptureKind::Delivered), // bin 2 (partial)
+        ];
+        let s = ThroughputSampler::from_records(&records, &cfg);
+        let t1 = s.tag(Tag(1)).unwrap();
+        assert_eq!(t1.len(), 3);
+        assert!((t1.values()[0] - 1.0).abs() < 1e-12, "{:?}", t1.values());
+        assert!(
+            (t1.values()[2] - 2.0).abs() < 1e-12,
+            "partial bin must use its 50 ms width: {:?}",
+            t1.values()
+        );
+    }
+
+    #[test]
+    fn whole_bin_horizon_is_unchanged_by_partial_bin_fix() {
+        // Regression guard for the headline numbers: when horizon is a
+        // multiple of the bin, every bin (including the last) uses the full
+        // divisor.
+        let records = vec![rec(950, 5, 1, 12_500, 12_000, CaptureKind::Delivered)];
+        let s = ThroughputSampler::from_records(&records, &cfg());
+        let t1 = s.tag(Tag(1)).unwrap();
+        assert!((t1.values()[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_bin_horizon_single_packet() {
+        // Horizon shorter than one bin: a single bin whose width is the
+        // whole (sub-bin) horizon.
+        let cfg = SamplerConfig::tshark_like(
+            NodeId(5),
+            SimDuration::from_millis(100),
+            SimTime::from_millis(40),
+        );
+        let records = vec![rec(10, 5, 1, 5_000, 4_800, CaptureKind::Delivered)];
+        let s = ThroughputSampler::from_records(&records, &cfg);
+        let t1 = s.tag(Tag(1)).unwrap();
+        assert_eq!(t1.len(), 1);
+        // 5000 bytes over 40 ms = 1 Mbps.
+        assert!((t1.values()[0] - 1.0).abs() < 1e-12, "{:?}", t1.values());
+    }
+
+    #[test]
+    fn starved_tags_are_preseeded() {
+        // Tag 2 never delivers a packet; without pre-seeding it vanishes
+        // from per_tag and from every per-path report built on it.
+        let records = vec![rec(10, 5, 1, 1250, 1210, CaptureKind::Delivered)];
+        let cfg = cfg().with_tags([Tag(1), Tag(2)]);
+        let s = ThroughputSampler::from_records(&records, &cfg);
+        let starved = s.tag(Tag(2)).expect("starved tag must keep a series");
+        assert_eq!(starved.len(), 10);
+        assert_eq!(starved.mean(), 0.0);
+        assert!(s.tag(Tag(1)).unwrap().values()[0] > 0.0);
+        let rates = s.mean_rates_over(SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(rates.len(), 2, "both registered tags report a rate");
+        assert_eq!(rates[1], (Tag(2), 0.0));
+    }
+
+    #[test]
+    fn preseeded_empty_capture_keeps_all_tags() {
+        let cfg = cfg().with_tags([Tag(1), Tag(2), Tag(3)]);
+        let s = ThroughputSampler::from_records(&[], &cfg);
+        assert_eq!(s.per_tag.len(), 3);
+        assert_eq!(s.total.len(), 10);
+        assert_eq!(s.total.mean(), 0.0);
+        assert_eq!(s.packets, 0);
     }
 
     #[test]

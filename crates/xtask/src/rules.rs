@@ -85,6 +85,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no unwrap()/expect() in protocol/numeric crates outside #[cfg(test)]",
     },
     RuleInfo {
+        id: "thread",
+        summary: "no thread spawning in simulation/protocol/numeric crates; the event loop is \
+                  single-threaded — concurrency needs a reasoned allow-pragma arguing it cannot \
+                  change any run's result (see overlap_core::runner)",
+    },
+    RuleInfo {
         id: "forbid-unsafe",
         summary: "every workspace crate root must carry #![forbid(unsafe_code)]",
     },
@@ -149,6 +155,33 @@ pub fn check_file(rel_path: &str, view: &SourceView) -> Vec<Violation> {
                         line,
                         message: msg,
                     });
+                }
+            }
+        }
+
+        // thread: spawning APIs anywhere outside tooling/tests. Threads
+        // cannot be banned outright (the sweep runner is built on them) but
+        // every use must argue, in an allow-pragma, why it cannot perturb
+        // per-run determinism.
+        if kind != CrateKind::Tooling && !in_test {
+            for pat in [
+                "std::thread",
+                "thread::spawn",
+                "thread::scope",
+                ".spawn(",
+                "rayon",
+            ] {
+                if code.contains(pat) && !view.allowed("thread", line) {
+                    out.push(Violation {
+                        rule: "thread",
+                        file: rel_path.to_string(),
+                        line,
+                        message: format!(
+                            "`{pat}` introduces scheduling nondeterminism; justify with an \
+                             allow-pragma why results cannot depend on thread interleaving"
+                        ),
+                    });
+                    break;
                 }
             }
         }
@@ -373,6 +406,29 @@ mod tests {
         assert!(check("tests/protocol_invariants.rs", "x.unwrap();\n")
             .iter()
             .all(|v| v.rule != "unwrap"));
+    }
+
+    #[test]
+    fn thread_flagged_in_sim_crates() {
+        let v = check(
+            "crates/netsim/src/sim.rs",
+            "let h = std::thread::spawn(f);\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "thread");
+        assert!(!check("crates/core/src/runner.rs", "scope.spawn(|| run());\n").is_empty());
+        // Tooling crates (benches, xtask) may thread freely.
+        assert!(check("crates/bench/src/bin/x.rs", "std::thread::spawn(f);\n").is_empty());
+        // Test code is exempt.
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { std::thread::scope(|s| {}); }\n}\n";
+        assert!(check("crates/netsim/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_allow_pragma() {
+        let src = "// simlint: allow(thread, reason = \"results re-ordered by index\")\n\
+                   std::thread::scope(|scope| {});\n";
+        assert!(check("crates/core/src/runner.rs", src).is_empty());
     }
 
     #[test]
