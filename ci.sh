@@ -25,4 +25,16 @@ cmp /tmp/sweep_serial.txt /tmp/sweep_pooled.txt || {
 }
 rm -f /tmp/sweep_serial.txt /tmp/sweep_pooled.txt
 
+echo "==> fluid-model smoke (paper topology, all laws)"
+./target/release/fluid_table --smoke
+
+echo "==> fluid_table.txt byte-diff regeneration check"
+./target/release/fluid_table 2>/dev/null >/tmp/fluid_table_regen.txt
+cmp /tmp/fluid_table_regen.txt results/fluid_table.txt || {
+    echo "results/fluid_table.txt is stale: regenerate with" >&2
+    echo "  cargo run -p bench --bin fluid_table --release > results/fluid_table.txt" >&2
+    exit 1
+}
+rm -f /tmp/fluid_table_regen.txt
+
 echo "CI OK"

@@ -1,0 +1,57 @@
+//! Fluid-model benchmarks: how cheap is the ODE oracle compared to a
+//! packet run? One full paper-topology solve per coupled law, plus the
+//! cost of a single drift evaluation (the RK4 inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluidsim::{solve, Dynamics, FluidConfig, FluidLaw, FluidModel, FluidParams};
+use overlap_core::prelude::PaperNetwork;
+
+fn paper_model() -> FluidModel {
+    let net = PaperNetwork::new();
+    FluidModel::from_topology(&net.topology, &net.paths)
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let model = paper_model();
+
+    let mut group = c.benchmark_group("fluid_drift_eval");
+    for law in [
+        FluidLaw::Reno,
+        FluidLaw::Lia,
+        FluidLaw::Olia,
+        FluidLaw::Balia,
+    ] {
+        group.bench_function(law.name(), |b| {
+            let mut dynamics = Dynamics::new(&model, law, FluidParams::default());
+            let mss = dynamics.params().mss;
+            let mut y = vec![1e-3; dynamics.dim()];
+            for w in y[..model.n_paths()].iter_mut() {
+                *w = 20.0 * mss;
+            }
+            let mut dy = vec![0.0; y.len()];
+            b.iter(|| {
+                dynamics.eval(&y, &mut dy);
+                std::hint::black_box(dy[0])
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fluid_solve_paper");
+    // Short horizon: the benchmark measures integration throughput, not
+    // the laws' (law-dependent) convergence times.
+    let cfg = FluidConfig {
+        max_time: 5.0,
+        settle_tol: 0.0,
+        ..FluidConfig::default()
+    };
+    for law in [FluidLaw::Lia, FluidLaw::Balia] {
+        group.bench_function(law.name(), |b| {
+            b.iter(|| std::hint::black_box(solve(&model, law, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

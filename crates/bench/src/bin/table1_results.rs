@@ -27,7 +27,7 @@ fn main() {
         None => RunnerConfig::from_env().with_progress(true),
     };
     eprintln!(
-        "running {seeds} seeds x 3 algorithms x 3 default paths x {secs}s on {} worker(s) ...",
+        "running {seeds} seeds x 5 algorithms x 3 default paths x {secs}s on {} worker(s) ...",
         match cfg.workers {
             0 => "auto".to_string(),
             n => n.to_string(),
@@ -35,7 +35,13 @@ fn main() {
     );
     let started = Instant::now();
     let rows = results_table_with(
-        &[CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia],
+        &[
+            CcAlgo::Cubic,
+            CcAlgo::Lia,
+            CcAlgo::Olia,
+            CcAlgo::Balia,
+            CcAlgo::WVegas,
+        ],
         0..seeds,
         SimDuration::from_secs(secs),
         &cfg,

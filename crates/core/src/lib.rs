@@ -15,6 +15,9 @@
 //! * [`runner`] — the deterministic parallel sweep engine: declarative
 //!   cartesian-product specs fanned across a worker pool, results in spec
 //!   order, LP ground truth memoized.
+//! * [`fluidcheck`] — fluid ⇄ packet ⇄ LP cross-validation: lines the ODE
+//!   equilibria of `fluidsim` up against packet runs and the LP optimum
+//!   and renders `results/fluid_table.txt`.
 //! * [`report`] — terminal rendering (ASCII charts, summary tables).
 //!
 //! ```no_run
@@ -35,6 +38,7 @@
 
 pub mod determinism;
 pub mod experiments;
+pub mod fluidcheck;
 pub mod paper;
 pub mod randomnet;
 pub mod report;
@@ -44,6 +48,10 @@ pub mod scenario;
 pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
 pub use experiments::{
     fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow, FIG2_SEED,
+};
+pub use fluidcheck::{
+    fluid_config, fluid_paper_run, fluid_table_document, paper_cross_table, random_cross_table,
+    CrossRow, RandomCrossRow,
 };
 pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
 pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};
@@ -58,6 +66,10 @@ pub mod prelude {
     pub use crate::experiments::{
         fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow,
     };
+    pub use crate::fluidcheck::{
+        fluid_config, fluid_paper_run, fluid_table_document, paper_cross_table, random_cross_table,
+        CrossRow, RandomCrossRow,
+    };
     pub use crate::paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
     pub use crate::randomnet::{RandomOverlapConfig, RandomOverlapNet};
     pub use crate::report::{render_run, render_table};
@@ -66,6 +78,9 @@ pub mod prelude {
         SweepSpec, TopologySpec,
     };
     pub use crate::scenario::{CrossTraffic, RunResult, Scenario};
+    pub use fluidsim::{
+        solve, FluidConfig, FluidLaw, FluidModel, FluidOutcome, FluidParams, FluidRun,
+    };
     pub use mptcpsim::{CcAlgo, SchedulerKind};
     pub use netsim::{Path, QueueConfig, Topology};
     pub use simbase::{Bandwidth, SimDuration, SimTime};

@@ -435,16 +435,15 @@ mod tests {
 
     #[test]
     fn starved_path_keeps_a_zero_series() {
-        // Starve Path 3 (near-total loss on its exclusive first hop —
-        // netsim requires loss < 1): it delivers nothing in the window,
-        // but it must still appear in per-path series and
-        // per_path_steady_mbps instead of silently vanishing.
+        // Starve Path 3 (blackhole its exclusive first hop): it delivers
+        // nothing in the window, but it must still appear in per-path
+        // series and per_path_steady_mbps instead of silently vanishing.
         let net = PaperNetwork::new();
         let mut topo = net.topology.clone();
         let s = topo.node_by_name("s").unwrap();
         let v4 = topo.node_by_name("v4").unwrap();
         let link = topo.link_between(s, v4).unwrap();
-        topo.set_link_loss(link, 0.999_999);
+        topo.set_link_loss(link, 1.0);
         let r = Scenario {
             default_path: net.default_path,
             ..Scenario::new(topo, net.paths)

@@ -1,0 +1,190 @@
+//! Extracting the fluid network from a topology and path set.
+//!
+//! The fluid model needs exactly what the max-throughput LP needs — which
+//! links each path crosses and how much those links carry — plus each
+//! path's round-trip time. Both come from the same `netsim` objects the
+//! packets flow through ([`netsim::SharingAnalysis`] for the incidence,
+//! link specs for capacities and delays), so the three ground truths (LP,
+//! fluid, packet) can never disagree about the network itself.
+
+use netsim::{LinkId, Path, SharingAnalysis, Topology};
+
+/// RTT floor in seconds: a zero-delay path would make rates infinite.
+const MIN_RTT: f64 = 1e-4;
+
+/// One constrained link of the fluid network.
+#[derive(Debug, Clone)]
+pub struct FluidLink {
+    /// The underlying topology link.
+    pub link: LinkId,
+    /// Capacity in bytes per second.
+    pub capacity: f64,
+    /// Indices of the paths crossing this link (sorted, ascending).
+    pub users: Vec<usize>,
+}
+
+/// The fluid view of a (topology, paths) pair: per-path RTTs and the
+/// link–path incidence with capacities.
+#[derive(Debug, Clone)]
+pub struct FluidModel {
+    /// Round-trip propagation time per path, seconds (2 × one-way delay,
+    /// floored at 0.1 ms). Queueing delay is deliberately absent: the
+    /// price variable stands in for congestion.
+    pub rtts: Vec<f64>,
+    /// Every link used by at least one path, in `LinkId` order.
+    pub links: Vec<FluidLink>,
+}
+
+impl FluidModel {
+    /// Build the fluid network for `paths` over `topo`.
+    pub fn from_topology(topo: &Topology, paths: &[Path]) -> Self {
+        assert!(!paths.is_empty(), "need at least one path");
+        let analysis = SharingAnalysis::new(paths);
+        let links = analysis
+            .link_users
+            .iter()
+            .map(|(link, users)| FluidLink {
+                link: *link,
+                capacity: topo.link(*link).capacity.as_bps() as f64 / 8.0,
+                users: users.clone(),
+            })
+            .collect();
+        let rtts = paths
+            .iter()
+            .map(|p| (2.0 * p.one_way_delay(topo).as_secs_f64()).max(MIN_RTT))
+            .collect();
+        FluidModel { rtts, links }
+    }
+
+    /// Number of paths.
+    pub fn n_paths(&self) -> usize {
+        self.rtts.len()
+    }
+
+    /// Number of constrained links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Sum of all constrained-link capacities, bytes per second — a
+    /// generous upper bound on any feasible aggregate used by the
+    /// divergence detector.
+    pub fn capacity_sum(&self) -> f64 {
+        self.links.iter().map(|l| l.capacity).sum()
+    }
+
+    /// Per-path loss `q_r = Σ_{l ∈ r} p_l` from per-link prices.
+    /// `prices.len()` must equal [`Self::n_links`]; `out` must hold
+    /// [`Self::n_paths`] slots.
+    pub fn path_loss(&self, prices: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(prices.len(), self.links.len());
+        debug_assert_eq!(out.len(), self.n_paths());
+        out.fill(0.0);
+        for (l, spec) in self.links.iter().enumerate() {
+            for &r in &spec.users {
+                out[r] += prices[l];
+            }
+        }
+    }
+
+    /// Per-link load `y_l = Σ_{r ∋ l} x_r` from per-path rates (bytes/s).
+    pub fn link_load(&self, rates: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(rates.len(), self.n_paths());
+        debug_assert_eq!(out.len(), self.links.len());
+        for (l, spec) in self.links.iter().enumerate() {
+            out[l] = spec.users.iter().map(|&r| rates[r]).sum();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::QueueConfig;
+    use simbase::{Bandwidth, SimDuration};
+
+    /// s → m → d with two paths sharing the first hop.
+    fn diamond() -> (Topology, Vec<Path>) {
+        let mut t = Topology::new();
+        let s = t.add_node("s");
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let d = t.add_node("d");
+        let q = QueueConfig::DropTailPackets(32);
+        let dl = SimDuration::from_millis(2);
+        t.add_link(s, a, Bandwidth::from_mbps(40), dl, q);
+        t.add_link(s, b, Bandwidth::from_mbps(60), dl, q);
+        t.add_link(a, d, Bandwidth::from_mbps(100), dl, q);
+        t.add_link(
+            b,
+            d,
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(4),
+            q,
+        );
+        let p0 = Path::from_nodes(&t, &[s, a, d]).unwrap();
+        let p1 = Path::from_nodes(&t, &[s, b, d]).unwrap();
+        (t, vec![p0, p1])
+    }
+
+    #[test]
+    fn extraction_matches_topology() {
+        let (t, paths) = diamond();
+        let m = FluidModel::from_topology(&t, &paths);
+        assert_eq!(m.n_paths(), 2);
+        assert_eq!(m.n_links(), 4);
+        // 40 Mbps = 5e6 bytes/s.
+        let caps: Vec<f64> = m.links.iter().map(|l| l.capacity).collect();
+        assert!(caps.contains(&5_000_000.0));
+        // RTTs: path 0 = 2·(2+2) ms, path 1 = 2·(2+4) ms.
+        assert!((m.rtts[0] - 0.008).abs() < 1e-12);
+        assert!((m.rtts[1] - 0.012).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_and_load_follow_incidence() {
+        let (t, paths) = diamond();
+        let m = FluidModel::from_topology(&t, &paths);
+        // Price only the first link (used by path 0 alone).
+        let prices: Vec<f64> = m
+            .links
+            .iter()
+            .map(|l| {
+                if l.users == vec![0] && l.capacity == 5_000_000.0 {
+                    0.01
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut q = vec![0.0; 2];
+        m.path_loss(&prices, &mut q);
+        assert!((q[0] - 0.01).abs() < 1e-12);
+        assert_eq!(q[1], 0.0);
+
+        let rates = vec![1e6, 2e6];
+        let mut y = vec![0.0; m.n_links()];
+        m.link_load(&rates, &mut y);
+        for (l, spec) in m.links.iter().enumerate() {
+            let expect: f64 = spec.users.iter().map(|&r| rates[r]).sum();
+            assert!((y[l] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rtt_floor_applies() {
+        let mut t = Topology::new();
+        let s = t.add_node("s");
+        let d = t.add_node("d");
+        t.add_link(
+            s,
+            d,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_nanos(1),
+            QueueConfig::DropTailPackets(4),
+        );
+        let p = Path::from_nodes(&t, &[s, d]).unwrap();
+        let m = FluidModel::from_topology(&t, &[p]);
+        assert!(m.rtts[0] >= 1e-4);
+    }
+}

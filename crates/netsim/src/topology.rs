@@ -147,8 +147,9 @@ impl Topology {
 
     /// Give a link an independent per-packet loss probability (both
     /// directions) — the standard first-order model of a wireless hop.
+    /// `1.0` is allowed: a fully lossy (blackholed) link.
     pub fn set_link_loss(&mut self, l: LinkId, loss_rate: f64) {
-        assert!((0.0..1.0).contains(&loss_rate), "loss rate in [0,1)");
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate in [0, 1]");
         self.links[l.0 as usize].loss_rate = loss_rate;
     }
 
@@ -322,7 +323,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "loss rate")]
+    fn fully_lossy_link_is_allowed() {
+        // The documented range is [0, 1]: a blackholed link is a legal
+        // (if hostile) configuration, not a programming error.
+        let (mut t, ..) = line3();
+        t.set_link_loss(LinkId(0), 1.0);
+        assert_eq!(t.link(LinkId(0)).loss_rate, 1.0);
+        t.set_link_loss(LinkId(0), 0.0);
+        assert_eq!(t.link(LinkId(0)).loss_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate in [0, 1]")]
     fn invalid_loss_rate_rejected() {
         let (mut t, ..) = line3();
         t.set_link_loss(LinkId(0), 1.5);

@@ -18,8 +18,8 @@ pub enum CrateKind {
     /// Protocol state machines: `tcpsim`, `mptcpsim`. Determinism rules plus
     /// the no-panic rule apply.
     Protocol,
-    /// Numeric code (`lpsolve`): determinism + no-panic rules apply; it
-    /// feeds expected values into the simulation.
+    /// Numeric code (`lpsolve`, `fluidsim`): determinism + no-panic rules
+    /// apply; it feeds expected values into the simulation.
     Numeric,
     /// Benches, figure binaries, xtask itself: only portability-neutral
     /// rules (float-eq, forbid-unsafe assertion via manifest scan).
@@ -32,7 +32,7 @@ impl CrateKind {
         let p = rel_path.replace('\\', "/");
         if p.starts_with("crates/tcpsim/") || p.starts_with("crates/mptcpsim/") {
             CrateKind::Protocol
-        } else if p.starts_with("crates/lpsolve/") {
+        } else if p.starts_with("crates/lpsolve/") || p.starts_with("crates/fluidsim/") {
             CrateKind::Numeric
         } else if p.starts_with("crates/bench/") || p.starts_with("crates/xtask/") {
             CrateKind::Tooling
@@ -323,6 +323,58 @@ mod tests {
 
     fn check(path: &str, src: &str) -> Vec<Violation> {
         check_file(path, &scan(src))
+    }
+
+    #[test]
+    fn crate_classification_covers_the_workspace() {
+        assert_eq!(
+            CrateKind::classify("crates/tcpsim/src/a.rs"),
+            CrateKind::Protocol
+        );
+        assert_eq!(
+            CrateKind::classify("crates/mptcpsim/src/a.rs"),
+            CrateKind::Protocol
+        );
+        assert_eq!(
+            CrateKind::classify("crates/lpsolve/src/a.rs"),
+            CrateKind::Numeric
+        );
+        assert_eq!(
+            CrateKind::classify("crates/fluidsim/src/ode.rs"),
+            CrateKind::Numeric
+        );
+        assert_eq!(
+            CrateKind::classify("crates/bench/src/bin/x.rs"),
+            CrateKind::Tooling
+        );
+        assert_eq!(
+            CrateKind::classify("crates/xtask/src/main.rs"),
+            CrateKind::Tooling
+        );
+        assert_eq!(
+            CrateKind::classify("crates/netsim/src/sim.rs"),
+            CrateKind::Sim
+        );
+        assert_eq!(
+            CrateKind::classify("crates/core/src/runner.rs"),
+            CrateKind::Sim
+        );
+        assert_eq!(CrateKind::classify("tests/determinism.rs"), CrateKind::Sim);
+    }
+
+    #[test]
+    fn fluidsim_is_linted_as_numeric_code() {
+        // unwrap and float-eq rules bite in the new crate's non-test code …
+        let v = check("crates/fluidsim/src/run.rs", "let x = v.pop().unwrap();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+        let v = check("crates/fluidsim/src/dynamics.rs", "if q == 0.5 { x(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-eq");
+        // … and wall-clock is forbidden (the integrator has no real time).
+        let v = check("crates/fluidsim/src/ode.rs", "let t = Instant::now();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wall-clock");
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! * [`mptcpsim`] — MPTCP: subflows, schedulers, coupled congestion control.
 //! * [`lpsolve`] — simplex solvers and the max-throughput LP ground truth.
 //! * [`simtrace`] — receiver-side measurement, time series, convergence.
+//! * [`fluidsim`] — deterministic ODE fluid model: a second ground truth
+//!   for the coupled controllers' equilibria.
 //! * [`overlap_core`] — the paper's scenarios and experiment harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 #![forbid(unsafe_code)]
 
+pub use fluidsim;
 pub use lpsolve;
 pub use mptcpsim;
 pub use netsim;

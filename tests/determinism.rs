@@ -43,6 +43,18 @@ fn olia_same_seed_same_trace() {
 }
 
 #[test]
+fn balia_same_seed_same_trace() {
+    let r = assert_deterministic(&paper_scenario(CcAlgo::Balia, 42));
+    assert!(r.data_delivered > 0, "run must actually move data");
+}
+
+#[test]
+fn wvegas_same_seed_same_trace() {
+    let r = assert_deterministic(&paper_scenario(CcAlgo::WVegas, 42));
+    assert!(r.data_delivered > 0, "run must actually move data");
+}
+
+#[test]
 fn determinism_holds_across_seeds() {
     // Several seeds through the full double-run harness: per-seed
     // determinism plus distinct seeds giving distinct trajectories.
@@ -59,12 +71,20 @@ fn determinism_holds_across_seeds() {
 
 #[test]
 fn algorithms_produce_distinct_traces() {
-    // Sanity on the hash itself: if CUBIC, LIA and OLIA all hash alike,
-    // the digest is not actually covering the trace.
-    let c = paper_scenario(CcAlgo::Cubic, 42).run().trace_hash;
-    let l = paper_scenario(CcAlgo::Lia, 42).run().trace_hash;
-    let o = paper_scenario(CcAlgo::Olia, 42).run().trace_hash;
-    assert_ne!(c, l);
-    assert_ne!(c, o);
-    assert_ne!(l, o);
+    // Sanity on the hash itself: if every algorithm hashes alike, the
+    // digest is not actually covering the trace. All five shipped
+    // algorithms, pairwise distinct.
+    let mut hashes: Vec<u64> = [
+        CcAlgo::Cubic,
+        CcAlgo::Lia,
+        CcAlgo::Olia,
+        CcAlgo::Balia,
+        CcAlgo::WVegas,
+    ]
+    .iter()
+    .map(|&algo| paper_scenario(algo, 42).run().trace_hash)
+    .collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 5, "all five algorithms must trace distinctly");
 }
