@@ -37,4 +37,16 @@ cmp /tmp/fluid_table_regen.txt results/fluid_table.txt || {
 }
 rm -f /tmp/fluid_table_regen.txt
 
+echo "==> failover smoke (fault injection, recovery gates, 1-vs-4-worker hashes)"
+./target/release/failover_table --smoke
+
+echo "==> failover_table.txt byte-diff regeneration check"
+./target/release/failover_table 2>/dev/null >/tmp/failover_table_regen.txt
+cmp /tmp/failover_table_regen.txt results/failover_table.txt || {
+    echo "results/failover_table.txt is stale: regenerate with" >&2
+    echo "  cargo run -p bench --bin failover_table --release > results/failover_table.txt" >&2
+    exit 1
+}
+rm -f /tmp/failover_table_regen.txt
+
 echo "CI OK"

@@ -1,0 +1,94 @@
+//! The failover experiment table: link failure, recovery, restore.
+//!
+//! Default mode prints the complete `results/failover_table.txt` document
+//! to stdout (progress to stderr). The document is byte-identical across
+//! machines and worker counts; regenerate the checked-in copy with
+//!
+//! ```text
+//! cargo run -p bench --bin failover_table --release > results/failover_table.txt
+//! ```
+//!
+//! `--smoke` runs one seed of CUBIC/LIA/OLIA through the failover
+//! scenario and asserts the acceptance gates: each algorithm recovers
+//! before the restore and holds at least 90% of the LP optimum recomputed
+//! on the surviving constraint set, and the whole batch is trace-hash
+//! identical between a serial run and a 4-worker run. CI uses it as the
+//! fast fault-injection sanity check.
+
+use overlap_core::prelude::*;
+use std::time::Instant;
+
+fn smoke() {
+    let started = Instant::now();
+    let cfg = FailoverConfig {
+        algos: vec![CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::Olia],
+        seeds: 1..2,
+        ..FailoverConfig::default()
+    };
+    let serial = run_failover(&cfg, &RunnerConfig::serial());
+    let setup = &serial.setup;
+    println!(
+        "failover smoke: dead link {:?}, LP {:.0} -> {:.0} Mbps on surviving paths",
+        setup.dead_link, setup.full_lp_mbps, setup.post_lp_mbps
+    );
+    for cell in &serial.cells {
+        println!(
+            "  {:7} seed {}: recovery {}, post-fault {:6.2} Mbps ({:5.1}% of {:.0}), restore {:6.2} Mbps",
+            cell.algo.name(),
+            cell.seed,
+            cell.recovery_s
+                .map_or_else(|| "never".to_string(), |r| format!("{r:.2} s")),
+            cell.post_fault_mbps,
+            100.0 * cell.post_fault_mbps / setup.post_lp_mbps,
+            setup.post_lp_mbps,
+            cell.post_restore_mbps,
+        );
+        assert!(
+            cell.recovery_s.is_some(),
+            "{} seed {}: no recovery before the restore",
+            cell.algo.name(),
+            cell.seed
+        );
+        assert!(
+            cell.post_fault_mbps >= 0.9 * setup.post_lp_mbps,
+            "{} seed {}: {:.2} Mbps misses 90% of the recomputed optimum {:.2}",
+            cell.algo.name(),
+            cell.seed,
+            cell.post_fault_mbps,
+            setup.post_lp_mbps
+        );
+    }
+    // Faulted runs must stay deterministic under parallel execution.
+    let parallel = run_failover(
+        &cfg,
+        &RunnerConfig {
+            workers: 4,
+            progress: false,
+        },
+    );
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(
+            a.trace_hash,
+            b.trace_hash,
+            "{} seed {}: trace hash differs between 1 and 4 workers",
+            a.algo.name(),
+            a.seed
+        );
+    }
+    println!(
+        "failover smoke passed in {:.2}s",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let cfg = RunnerConfig::from_env().with_progress(true);
+    let started = Instant::now();
+    print!("{}", failover_table_document(&cfg));
+    eprintln!("wall clock: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -18,6 +18,10 @@
 //! * [`fluidcheck`] — fluid ⇄ packet ⇄ LP cross-validation: lines the ODE
 //!   equilibria of `fluidsim` up against packet runs and the LP optimum
 //!   and renders `results/fluid_table.txt`.
+//! * [`failover`] — the fault-injection experiment: kill the default
+//!   path's private link mid-run, restore it, and measure recovery time
+//!   and post-failure throughput against the LP optimum recomputed on the
+//!   surviving constraint set; renders `results/failover_table.txt`.
 //! * [`report`] — terminal rendering (ASCII charts, summary tables).
 //!
 //! ```no_run
@@ -38,6 +42,7 @@
 
 pub mod determinism;
 pub mod experiments;
+pub mod failover;
 pub mod fluidcheck;
 pub mod paper;
 pub mod randomnet;
@@ -48,6 +53,10 @@ pub mod scenario;
 pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
 pub use experiments::{
     fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow, FIG2_SEED,
+};
+pub use failover::{
+    exclusive_link, failover_scenario, failover_table_document, recovery_time_s, run_failover,
+    FailoverCell, FailoverConfig, FailoverOutcome, FailoverRow, FailoverSetup,
 };
 pub use fluidcheck::{
     fluid_config, fluid_paper_run, fluid_table_document, paper_cross_table, random_cross_table,
@@ -65,6 +74,9 @@ pub use scenario::{CrossTraffic, RunResult, Scenario};
 pub mod prelude {
     pub use crate::experiments::{
         fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow,
+    };
+    pub use crate::failover::{
+        failover_table_document, run_failover, FailoverConfig, FailoverOutcome, FailoverSetup,
     };
     pub use crate::fluidcheck::{
         fluid_config, fluid_paper_run, fluid_table_document, paper_cross_table, random_cross_table,

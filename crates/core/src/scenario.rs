@@ -11,7 +11,8 @@ use mptcpsim::{
     CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SchedulerKind, SubflowConfig,
 };
 use netsim::{
-    CaptureConfig, CbrSource, DatagramSink, NodeId, Path, RoutingTables, Simulator, Tag, Topology,
+    CaptureConfig, CbrSource, DatagramSink, FaultSchedule, NodeId, Path, RoutingTables, Simulator,
+    Tag, Topology,
 };
 use simbase::Bandwidth;
 use simbase::{SimDuration, SimTime};
@@ -53,6 +54,10 @@ pub struct Scenario {
     pub forward_jitter: SimDuration,
     /// Open-loop CBR cross traffic injected alongside the MPTCP connection.
     pub background: Vec<CrossTraffic>,
+    /// Timed network mutations applied during the run (empty = static
+    /// topology). Installed into the simulator's event queue, so a faulted
+    /// run is exactly as deterministic as an unfaulted one.
+    pub faults: FaultSchedule,
 }
 
 /// A constant-bit-rate background flow between two agent-free nodes.
@@ -88,7 +93,14 @@ impl Scenario {
             hold: SimDuration::from_secs(1),
             forward_jitter: SimDuration::from_micros(20),
             background: Vec::new(),
+            faults: FaultSchedule::new(),
         }
+    }
+
+    /// Builder-style override of the fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Builder-style override of the congestion-control algorithm.
@@ -160,6 +172,7 @@ impl Scenario {
         let mut sim = Simulator::new(self.topology.clone(), routing, self.seed);
         sim.set_capture(CaptureConfig::receiver_side(dst));
         sim.set_forward_jitter(self.forward_jitter);
+        sim.install_faults(&self.faults);
         let mptcp_cfg = MptcpConfig {
             algo: self.algo,
             scheduler: self.scheduler,

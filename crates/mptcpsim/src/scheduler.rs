@@ -34,8 +34,10 @@ pub enum Assignment {
     Replicate(Vec<usize>),
 }
 
-/// A packet scheduler. `subs` lists all *active* subflows; at least one of
-/// them is eligible whenever `assign` is called.
+/// A packet scheduler. `subs` lists all *active* subflows. Callers avoid
+/// calling `assign` with no eligible subflow, but a fault can fail every
+/// subflow between snapshot and assignment, so implementations must return
+/// [`Assignment::None`] (not panic) for an empty eligible set.
 pub trait Scheduler: std::fmt::Debug + Send {
     /// Decide who gets the next chunk.
     fn assign(&mut self, subs: &[SubflowSnapshot]) -> Assignment;
@@ -53,13 +55,14 @@ pub struct MinRtt;
 
 impl Scheduler for MinRtt {
     fn assign(&mut self, subs: &[SubflowSnapshot]) -> Assignment {
-        let best = subs
+        match subs
             .iter()
             .filter(|s| s.eligible)
             .min_by_key(|s| (s.srtt.unwrap_or(SimDuration::MAX), s.idx))
-            // simlint: allow(unwrap, reason = "Scheduler trait contract: callers pass >=1 eligible subflow")
-            .expect("assign called with no eligible subflows");
-        Assignment::One(best.idx)
+        {
+            Some(best) => Assignment::One(best.idx),
+            None => Assignment::None,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -76,15 +79,20 @@ pub struct RoundRobin {
 impl Scheduler for RoundRobin {
     fn assign(&mut self, subs: &[SubflowSnapshot]) -> Assignment {
         // The first eligible subflow with index greater than `last`,
-        // wrapping around.
+        // wrapping around. Regression: this used to index `eligible[0]`
+        // unconditionally and panicked when a fault failed every subflow
+        // between snapshot and assignment.
         let eligible: Vec<usize> = subs.iter().filter(|s| s.eligible).map(|s| s.idx).collect();
+        let Some(&first) = eligible.first() else {
+            return Assignment::None;
+        };
         let next = match self.last {
-            None => eligible[0],
+            None => first,
             Some(last) => eligible
                 .iter()
                 .copied()
                 .find(|&i| i > last)
-                .unwrap_or(eligible[0]),
+                .unwrap_or(first),
         };
         self.last = Some(next);
         Assignment::One(next)
@@ -105,6 +113,9 @@ impl Scheduler for Redundant {
     fn assign(&mut self, subs: &[SubflowSnapshot]) -> Assignment {
         // Every active subflow gets a copy, eligible or not: the fast path
         // drives progress and slower paths queue their copies as backlog.
+        if subs.is_empty() {
+            return Assignment::None;
+        }
         Assignment::Replicate(subs.iter().map(|s| s.idx).collect())
     }
 
@@ -214,6 +225,33 @@ mod tests {
         let mut s = Redundant;
         let elig = [snap(0, None), snap(2, None)];
         assert_eq!(s.assign(&elig), Assignment::Replicate(vec![0, 2]));
+    }
+
+    #[test]
+    fn schedulers_return_none_when_nothing_is_eligible() {
+        // Regression: a fault can fail every subflow between the snapshot
+        // and the assignment; RoundRobin used to index eligible[0] and
+        // panic. All schedulers must degrade to Assignment::None.
+        let mut ineligible = [snap(0, Some(10)), snap(1, Some(20))];
+        for s in &mut ineligible {
+            s.eligible = false;
+        }
+        assert_eq!(RoundRobin::default().assign(&ineligible), Assignment::None);
+        assert_eq!(MinRtt.assign(&ineligible), Assignment::None);
+        assert_eq!(RoundRobin::default().assign(&[]), Assignment::None);
+        assert_eq!(MinRtt.assign(&[]), Assignment::None);
+        assert_eq!(Redundant.assign(&[]), Assignment::None);
+    }
+
+    #[test]
+    fn round_robin_recovers_after_total_outage() {
+        // After a None the rotation state is untouched and the next call
+        // with restored subflows proceeds normally.
+        let mut s = RoundRobin::default();
+        let all = [snap(0, None), snap(1, None)];
+        assert_eq!(s.assign(&all), Assignment::One(0));
+        assert_eq!(s.assign(&[]), Assignment::None);
+        assert_eq!(s.assign(&all), Assignment::One(1));
     }
 
     #[test]

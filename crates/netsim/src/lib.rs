@@ -14,6 +14,7 @@
 //! * [`queue`] — drop-tail and RED output queues.
 //! * [`agent`] — the sans-IO endpoint interface protocol stacks implement.
 //! * [`sim`] — the event loop tying it all together.
+//! * [`faults`] — declarative timed network mutations (failover etc.).
 //! * [`capture`] / [`stats`] — tshark-style records and counters.
 //!
 //! The simulator is single-threaded and deterministic: a topology, agent
@@ -25,6 +26,7 @@
 
 pub mod agent;
 pub mod capture;
+pub mod faults;
 pub mod packet;
 pub mod paths;
 pub mod queue;
@@ -36,6 +38,7 @@ pub mod traffic;
 
 pub use agent::{Agent, AgentId, Ctx, Effect};
 pub use capture::{CaptureConfig, CaptureKind, CaptureRecord};
+pub use faults::{FaultAction, FaultSchedule};
 pub use packet::{Dir, Ecn, LinkId, NodeId, Packet, PacketMeta, Protocol, Tag, IP_HEADER_BYTES};
 pub use paths::{
     all_simple_paths, k_shortest_paths, shortest_path, Path, PathError, SharingAnalysis,
@@ -499,6 +502,212 @@ mod sim_tests {
         sim.run_to_completion();
         assert_eq!(sim.stats().packets_delivered, 10);
         assert_eq!(sim.packets_in_flight(), 0);
+    }
+
+    /// Build a ready-to-run sim over a two-node net with a Blaster at `a`
+    /// and a Sink at `b`.
+    fn blaster_sim(
+        capacity: Bandwidth,
+        delay: SimDuration,
+        queue: QueueConfig,
+        count: u32,
+        data_len: u32,
+        pace: Option<SimDuration>,
+    ) -> Simulator {
+        let (topo, a, b) = two_node_net(capacity, delay, queue);
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 1);
+        sim.add_agent(
+            a,
+            Box::new(Blaster {
+                dst: b,
+                tag: Tag::NONE,
+                count,
+                data_len,
+                sent: 0,
+                pace,
+            }),
+            SimTime::ZERO,
+        );
+        sim.add_agent(
+            b,
+            Box::new(Sink {
+                received: 0,
+                last_at: SimTime::ZERO,
+            }),
+            SimTime::ZERO,
+        );
+        sim
+    }
+
+    #[test]
+    fn outage_drops_traffic_then_recovers_conserved() {
+        // One packet per 10 ms for 300 ms; the link is out over [95, 145) ms,
+        // so the packets sent at 100/110/120/130/140 ms are lost at the
+        // interface and everything before/after delivers.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            QueueConfig::DropTailPackets(100),
+            30,
+            1000,
+            Some(SimDuration::from_millis(10)),
+        );
+        sim.install_faults(&FaultSchedule::new().outage(
+            LinkId(0),
+            SimTime::from_millis(95),
+            SimTime::from_millis(145),
+        ));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_dropped, 5);
+        assert_eq!(sim.stats().packets_delivered, 25);
+        assert!(sim.stats().conserved(0));
+        assert!(sim.link_is_up(LinkId(0)));
+    }
+
+    #[test]
+    fn stale_txdone_cannot_complete_a_later_transmission() {
+        // Packet 1 starts serializing at t=0 (1020 wire bytes at 1 Mbps:
+        // TxDone pending at 8.16 ms). The link dies at 4 ms — aborting that
+        // serialization — and returns at 5 ms. Packet 2 is sent at 6 ms and
+        // must finish at 6 + 8.16 = 14.16 ms; the stale TxDone firing at
+        // 8.16 ms carries the pre-abort epoch and must NOT complete it
+        // early. Arrival is therefore at 14.16 + 5 (delay) = 19.16 ms.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(5),
+            QueueConfig::DropTailPackets(10),
+            2,
+            1000,
+            Some(SimDuration::from_millis(6)),
+        );
+        sim.install_faults(&FaultSchedule::new().outage(
+            LinkId(0),
+            SimTime::from_millis(4),
+            SimTime::from_millis(5),
+        ));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_dropped, 1);
+        assert_eq!(sim.stats().packets_delivered, 1);
+        assert_eq!(
+            sim.now(),
+            SimTime::from_nanos(6_000_000 + 8_160_000 + 5_000_000)
+        );
+        assert!(sim.stats().conserved(0));
+    }
+
+    #[test]
+    fn capacity_fault_applies_to_subsequent_transmissions_only() {
+        // Two back-to-back packets at t=0. Packet 1 serializes at 1 Mbps
+        // (8.16 ms) and keeps that timing even though capacity doubles at
+        // 2 ms; packet 2 starts at 8.16 ms at 2 Mbps (4.08 ms). Last
+        // arrival: 8.16 + 4.08 + 5 = 17.24 ms.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(5),
+            QueueConfig::DropTailPackets(10),
+            2,
+            1000,
+            None,
+        );
+        sim.schedule_fault(
+            SimTime::from_millis(2),
+            FaultAction::SetCapacity(LinkId(0), Bandwidth::from_mbps(2)),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_delivered, 2);
+        assert_eq!(
+            sim.now(),
+            SimTime::from_nanos(8_160_000 + 4_080_000 + 5_000_000)
+        );
+    }
+
+    #[test]
+    fn delay_fault_changes_propagation_of_later_packets() {
+        // Paced packets at 0 and 20 ms; delay is raised from 5 to 15 ms in
+        // between. Packet 2 finishes serializing at 28.16 ms and arrives
+        // 15 ms later, at 43.16 ms.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(5),
+            QueueConfig::DropTailPackets(10),
+            2,
+            1000,
+            Some(SimDuration::from_millis(20)),
+        );
+        sim.schedule_fault(
+            SimTime::from_millis(10),
+            FaultAction::SetDelay(LinkId(0), SimDuration::from_millis(15)),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_delivered, 2);
+        assert_eq!(
+            sim.now(),
+            SimTime::from_nanos(20_000_000 + 8_160_000 + 15_000_000)
+        );
+    }
+
+    #[test]
+    fn loss_burst_blackholes_window_deterministically() {
+        // One packet per 10 ms for 200 ms; loss probability 1.0 over
+        // [45, 95) ms kills exactly the packets *serialized* inside the
+        // window (sent at 50..=90 ms), five in all.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            QueueConfig::DropTailPackets(100),
+            20,
+            1000,
+            Some(SimDuration::from_millis(10)),
+        );
+        sim.install_faults(&FaultSchedule::new().loss_burst(
+            LinkId(0),
+            SimTime::from_millis(45),
+            SimTime::from_millis(95),
+            1.0,
+        ));
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_dropped, 5);
+        assert_eq!(sim.stats().packets_delivered, 15);
+        assert!(sim.stats().conserved(0));
+    }
+
+    #[test]
+    fn queue_fault_reoffers_buffered_packets_and_drops_excess() {
+        // Burst of 10: one serializing, nine buffered. Shrinking the queue
+        // to 2 packets at 1 ms keeps the first two buffered packets (FIFO)
+        // and drops the other seven, all accounted.
+        let mut sim = blaster_sim(
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(1),
+            QueueConfig::DropTailPackets(100),
+            10,
+            1000,
+            None,
+        );
+        sim.schedule_fault(
+            SimTime::from_millis(1),
+            FaultAction::SetQueue(LinkId(0), QueueConfig::DropTailPackets(2)),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.stats().packets_delivered, 3);
+        assert_eq!(sim.stats().packets_dropped, 7);
+        assert!(sim.stats().conserved(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn fault_on_unknown_link_rejected_at_install() {
+        let (topo, _a, _b) = two_node_net(
+            Bandwidth::from_mbps(1),
+            SimDuration::ZERO,
+            QueueConfig::default(),
+        );
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 1);
+        sim.schedule_fault(SimTime::ZERO, FaultAction::LinkDown(LinkId(9)));
     }
 
     #[test]

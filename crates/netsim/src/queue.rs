@@ -133,7 +133,15 @@ impl DropTail {
 impl Queue for DropTail {
     fn enqueue(&mut self, _now: SimTime, pkt: Packet, _rng: &mut dyn SimRng) -> EnqueueResult {
         let size = pkt.wire_size() as u64;
-        if self.buf.len() + 1 > self.max_packets || self.bytes + size > self.max_bytes {
+        // bfifo semantics: an empty buffer always admits its head packet,
+        // even one whose wire size alone exceeds `max_bytes` — rejecting it
+        // would blackhole that flow permanently, since the same packet
+        // would be refused on every retransmission. (Linux bfifo likewise
+        // admits while the backlog is under the limit, so the head packet
+        // of an empty queue always gets through.)
+        let over_bound =
+            self.buf.len() + 1 > self.max_packets || self.bytes + size > self.max_bytes;
+        if over_bound && !self.buf.is_empty() {
             return EnqueueResult::Dropped(DropReason::TailDrop);
         }
         self.bytes += size;
@@ -177,6 +185,11 @@ pub struct RedConfig {
     /// Mark ECN-capable packets (set CE) instead of early-dropping them
     /// (RFC 3168 §5): the AQM signal without the loss.
     pub ecn_marking: bool,
+    /// Typical transmission time of one packet, used for Floyd & Jacobson's
+    /// idle-time compensation: after the queue has been empty for `idle`,
+    /// the average is decayed as if `m = idle / mean_pkt_time` zero-length
+    /// samples had been taken (`avg *= (1 - weight)^m`).
+    pub mean_pkt_time: SimDuration,
 }
 
 impl Default for RedConfig {
@@ -188,6 +201,8 @@ impl Default for RedConfig {
             max_p: 0.1,
             weight: 0.002,
             ecn_marking: false,
+            // 1500 B at 100 Mbps.
+            mean_pkt_time: SimDuration::from_micros(120),
         }
     }
 }
@@ -202,6 +217,9 @@ pub struct Red {
     /// Packets since the last drop (sharpens inter-drop spacing as in the
     /// original paper's `count` term).
     count: i64,
+    /// When the buffer last became empty (None while occupied). Drives the
+    /// idle-time decay of `avg` at the next enqueue.
+    idle_since: Option<SimTime>,
 }
 
 impl Red {
@@ -214,6 +232,7 @@ impl Red {
             cfg,
             avg: 0.0,
             count: -1,
+            idle_since: None,
         }
     }
 
@@ -225,7 +244,18 @@ impl Red {
 
 impl Queue for Red {
     fn enqueue(&mut self, now: SimTime, mut pkt: Packet, rng: &mut dyn SimRng) -> EnqueueResult {
-        let _ = now;
+        // Idle-time compensation (Floyd & Jacobson 1993, §4): while the
+        // buffer sat empty the EWMA saw no samples, so a stale-high `avg`
+        // would spuriously early-drop the first packets of a fresh burst.
+        // Decay it as if the idle period had contributed zero-length
+        // samples every `mean_pkt_time`.
+        if let Some(idle_from) = self.idle_since.take() {
+            let idle = now.saturating_since(idle_from);
+            if self.avg > 0.0 && !idle.is_zero() {
+                let m = idle.as_nanos() as f64 / self.cfg.mean_pkt_time.as_nanos().max(1) as f64;
+                self.avg *= (1.0 - self.cfg.weight).powf(m);
+            }
+        }
         // Update the EWMA of the instantaneous queue length.
         self.avg =
             (1.0 - self.cfg.weight) * self.avg + self.cfg.weight * self.inner.len_packets() as f64;
@@ -252,10 +282,14 @@ impl Queue for Red {
                 // Mark instead of dropping (RFC 3168).
                 pkt.ecn = crate::packet::Ecn::Ce;
             } else {
+                if self.inner.is_empty() {
+                    // The buffer stays empty: the idle period continues.
+                    self.idle_since = Some(now);
+                }
                 return EnqueueResult::Dropped(DropReason::EarlyDrop);
             }
         }
-        match self.inner.enqueue(SimTime::ZERO, pkt, rng) {
+        match self.inner.enqueue(now, pkt, rng) {
             EnqueueResult::Queued => EnqueueResult::Queued,
             EnqueueResult::Dropped(_) => {
                 self.count = 0;
@@ -265,7 +299,11 @@ impl Queue for Red {
     }
 
     fn dequeue(&mut self, now: SimTime) -> Dequeued {
-        self.inner.dequeue(now)
+        let d = self.inner.dequeue(now);
+        if self.inner.is_empty() && self.idle_since.is_none() {
+            self.idle_since = Some(now);
+        }
+        d
     }
 
     fn len_packets(&self) -> usize {
@@ -526,6 +564,114 @@ mod tests {
     }
 
     #[test]
+    fn droptail_bytes_admits_oversized_head_when_empty() {
+        // Regression: a byte-bounded queue used to reject any packet whose
+        // wire size exceeded max_bytes even when empty, permanently
+        // blackholing the flow (every retransmission hit the same wall).
+        // bfifo semantics: the head packet of an empty buffer is admitted.
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut q = DropTail::bytes(100);
+        // 1000 data + 20 IP = 1020 wire bytes > 100-byte bound.
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(0, 1000), &mut rng),
+            EnqueueResult::Queued
+        ));
+        assert_eq!(q.len_bytes(), 1020);
+        // The bound still applies once the buffer is occupied.
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(1, 1000), &mut rng),
+            EnqueueResult::Dropped(DropReason::TailDrop)
+        ));
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(2, 0), &mut rng),
+            EnqueueResult::Dropped(DropReason::TailDrop)
+        ));
+        // Draining re-opens the head slot: the flow makes progress.
+        assert_eq!(q.dequeue(SimTime::ZERO).pkt.unwrap().id, 0);
+        assert!(matches!(
+            q.enqueue(SimTime::ZERO, pkt(3, 1000), &mut rng),
+            EnqueueResult::Queued
+        ));
+    }
+
+    #[test]
+    fn red_decays_avg_across_idle_periods() {
+        // Regression: the EWMA never decayed while the buffer sat empty, so
+        // a stale-high avg early-dropped the first packets after an idle
+        // period. With Floyd & Jacobson's idle-time compensation the
+        // average is decayed by (1-w)^(idle / mean_pkt_time) at the next
+        // enqueue.
+        let mut rng = Xoshiro256StarStar::new(5);
+        let cfg = RedConfig {
+            weight: 0.5,
+            min_thresh: 2.0,
+            max_thresh: 8.0,
+            max_p: 0.5,
+            max_packets: 64,
+            ..Default::default()
+        };
+        let mut q = Red::new(cfg);
+        // Build pressure: a standing queue pushes avg above min_thresh.
+        for i in 0..20 {
+            let _ = q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng);
+        }
+        assert!(q.avg_queue() > cfg.min_thresh);
+        // Drain completely at t=0; the queue then idles for a full second
+        // (~8300 mean packet times at the default 120 us).
+        while q.dequeue(SimTime::ZERO).pkt.is_some() {}
+        let after_idle = SimTime::from_secs(1);
+        // The first post-idle packets must be admitted, not early-dropped
+        // off the stale average. (With weight 0.5 the decayed avg needs
+        // four+ instantaneous samples to climb back over min_thresh, so
+        // three packets are deterministically safe — and with the old code
+        // avg would still be > min_thresh and eligible for early drop.)
+        for i in 100..103 {
+            assert!(
+                matches!(
+                    q.enqueue(after_idle, pkt(i, 1000), &mut rng),
+                    EnqueueResult::Queued
+                ),
+                "post-idle packet {i} was dropped with avg={}",
+                q.avg_queue()
+            );
+        }
+        assert!(
+            q.avg_queue() < cfg.min_thresh,
+            "idle decay must pull avg back under min_thresh, got {}",
+            q.avg_queue()
+        );
+    }
+
+    #[test]
+    fn red_short_idle_decays_partially() {
+        // A short gap decays avg a little, not to zero: after m mean packet
+        // times the average shrinks by exactly (1-w)^m.
+        let mut rng = Xoshiro256StarStar::new(5);
+        let cfg = RedConfig {
+            weight: 0.5,
+            min_thresh: 20.0,
+            max_thresh: 40.0,
+            ..Default::default()
+        };
+        let mut q = Red::new(cfg);
+        for i in 0..10 {
+            let _ = q.enqueue(SimTime::ZERO, pkt(i, 1000), &mut rng);
+        }
+        let before = q.avg_queue();
+        while q.dequeue(SimTime::ZERO).pkt.is_some() {}
+        // Idle exactly two mean packet times, then take one zero-length
+        // sample: avg = before * (1-w)^2 * (1-w).
+        let t = SimTime::from_micros(240);
+        let _ = q.enqueue(t, pkt(100, 1000), &mut rng);
+        let expected = before * 0.5f64.powi(2) * 0.5;
+        assert!(
+            (q.avg_queue() - expected).abs() < 1e-12,
+            "expected {expected}, got {}",
+            q.avg_queue()
+        );
+    }
+
+    #[test]
     fn red_empty_queue_never_drops() {
         let mut rng = Xoshiro256StarStar::new(5);
         let mut q = Red::new(RedConfig::default());
@@ -680,6 +826,7 @@ mod tests {
             max_p: 0.5,
             max_packets: 64,
             ecn_marking: true,
+            mean_pkt_time: SimDuration::from_micros(120),
         };
         let mut q = Red::new(cfg);
         let mut dropped = 0;

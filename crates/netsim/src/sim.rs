@@ -17,6 +17,7 @@
 
 use crate::agent::{Agent, AgentId, Ctx, Effect};
 use crate::capture::{CaptureConfig, CaptureKind, CaptureRecord};
+use crate::faults::{FaultAction, FaultSchedule};
 use crate::packet::{Dir, LinkId, NodeId, Packet};
 use crate::queue::{EnqueueResult, Queue};
 use crate::routing::RoutingTables;
@@ -31,20 +32,26 @@ enum Event {
     StartAgent(AgentId),
     /// Deliver a one-shot timer to an agent.
     Timer { agent: AgentId, token: u64 },
-    /// A transmitter finished serializing its current packet.
-    TxDone { link: LinkId, dir: Dir },
+    /// A transmitter finished serializing its current packet. The epoch
+    /// pins the event to the transmission that scheduled it: aborting a
+    /// serialization (link failure) bumps the direction's epoch, so a
+    /// stale TxDone cannot complete a *different* packet started later.
+    TxDone { link: LinkId, dir: Dir, epoch: u64 },
     /// A packet finished propagating and arrives at the far end.
     Arrive { link: LinkId, dir: Dir, pkt: Packet },
-    /// Administratively take a link down (both directions).
-    LinkDown(LinkId),
-    /// Bring a link back up.
-    LinkUp(LinkId),
+    /// Apply a scheduled network mutation (see [`crate::faults`]).
+    Fault(FaultAction),
 }
 
 /// Runtime state for one direction of a link.
 struct DirState {
-    /// The packet currently being serialized, if any.
-    transmitting: Option<Packet>,
+    /// The packet currently being serialized plus its serialization time
+    /// (fixed when the transmission started: a capacity fault mid-flight
+    /// must not retroactively change this packet's accounting).
+    transmitting: Option<(Packet, SimDuration)>,
+    /// Incremented whenever a serialization is aborted; pending `TxDone`
+    /// events from before the abort carry the old epoch and are ignored.
+    epoch: u64,
     /// Output queue behind the transmitter.
     queue: Box<dyn Queue>,
 }
@@ -99,10 +106,12 @@ impl Simulator {
                     dirs: [
                         DirState {
                             transmitting: None,
+                            epoch: 0,
                             queue: spec.queue.build(),
                         },
                         DirState {
                             transmitting: None,
+                            epoch: 0,
                             queue: spec.queue.build(),
                         },
                     ],
@@ -227,14 +236,39 @@ impl Simulator {
     /// queued or in serialization are lost; packets already propagating
     /// deliver (they have left the interface).
     pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
-        assert!((link.0 as usize) < self.links.len(), "unknown link");
-        self.events.push(at, Event::LinkDown(link));
+        self.schedule_fault(at, FaultAction::LinkDown(link));
     }
 
     /// Schedule a link recovery.
     pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.schedule_fault(at, FaultAction::LinkUp(link));
+    }
+
+    /// Schedule one fault action. Validated eagerly so a bad schedule fails
+    /// at install time, not minutes into a run.
+    pub fn schedule_fault(&mut self, at: SimTime, action: FaultAction) {
+        let link = action.link();
         assert!((link.0 as usize) < self.links.len(), "unknown link");
-        self.events.push(at, Event::LinkUp(link));
+        match &action {
+            FaultAction::SetCapacity(_, cap) => {
+                assert!(cap.as_bps() > 0, "zero-capacity fault");
+            }
+            FaultAction::SetLoss(_, rate) => {
+                assert!((0.0..=1.0).contains(rate), "loss rate in [0, 1]");
+            }
+            _ => {}
+        }
+        self.events.push(at, Event::Fault(action));
+    }
+
+    /// Install every entry of a [`FaultSchedule`] as simulator events.
+    /// Entries interleave with packet events under the deterministic
+    /// `(time, insertion)` order of the event queue, so a faulted run is a
+    /// pure function of (topology, agents, schedule, seed).
+    pub fn install_faults(&mut self, schedule: &FaultSchedule) {
+        for (at, action) in schedule.entries() {
+            self.schedule_fault(*at, action.clone());
+        }
     }
 
     /// Is the link administratively up?
@@ -307,7 +341,7 @@ impl Simulator {
                 self.stats.timers_fired += 1;
                 self.dispatch(agent, AgentCall::Timer(token));
             }
-            Event::TxDone { link, dir } => self.on_tx_done(link, dir),
+            Event::TxDone { link, dir, epoch } => self.on_tx_done(link, dir, epoch),
             Event::Arrive { link, dir, pkt } => {
                 let spec = self.topo.link(link);
                 let node = match dir {
@@ -316,14 +350,89 @@ impl Simulator {
                 };
                 self.handle_packet_at(node, pkt);
             }
-            Event::LinkDown(link) => self.on_link_down(link),
-            Event::LinkUp(link) => {
+            Event::Fault(action) => self.apply_fault(action),
+        }
+        true
+    }
+
+    /// Apply one fault action to the live network (see [`crate::faults`]
+    /// for the semantics of each variant).
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkDown(link) => self.on_link_down(link),
+            FaultAction::LinkUp(link) => {
                 self.links[link.0 as usize].up = true;
                 self.log
                     .log(self.now, LogLevel::Info, "sim", format!("{link:?} up"));
             }
+            FaultAction::SetCapacity(link, cap) => {
+                self.topo.set_link_capacity(link, cap);
+                self.log.log(
+                    self.now,
+                    LogLevel::Info,
+                    "sim",
+                    format!("{link:?} capacity -> {} bps", cap.as_bps()),
+                );
+            }
+            FaultAction::SetDelay(link, delay) => {
+                self.topo.set_link_delay(link, delay);
+                self.log.log(
+                    self.now,
+                    LogLevel::Info,
+                    "sim",
+                    format!("{link:?} delay -> {delay}"),
+                );
+            }
+            FaultAction::SetLoss(link, rate) => {
+                self.topo.set_link_loss(link, rate);
+                self.log.log(
+                    self.now,
+                    LogLevel::Info,
+                    "sim",
+                    format!("{link:?} loss -> {rate}"),
+                );
+            }
+            FaultAction::SetQueue(link, cfg) => {
+                self.topo.set_link_queue(link, cfg);
+                self.log.log(
+                    self.now,
+                    LogLevel::Info,
+                    "sim",
+                    format!("{link:?} queue reconfigured"),
+                );
+                // Rebuild both directions' queues: re-offer the buffered
+                // packets to the new queue in FIFO order; packets the new
+                // (possibly smaller) queue refuses are accounted as drops,
+                // as are head-drops surfaced while draining the old AQM.
+                for dir in [Dir::AtoB, Dir::BtoA] {
+                    let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+                    let mut old = std::mem::replace(&mut state.queue, cfg.build());
+                    let mut lost_bytes: Vec<u32> = Vec::new();
+                    loop {
+                        let deq = old.dequeue(self.now);
+                        let had_any = deq.pkt.is_some() || !deq.dropped.is_empty();
+                        lost_bytes.extend(deq.dropped.iter().map(|p| p.wire_size()));
+                        if let Some(pkt) = deq.pkt {
+                            let size = pkt.wire_size();
+                            let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+                            if let EnqueueResult::Dropped(_) =
+                                state.queue.enqueue(self.now, pkt, &mut self.rng)
+                            {
+                                lost_bytes.push(size);
+                            }
+                        }
+                        if !had_any {
+                            break;
+                        }
+                    }
+                    for size in lost_bytes {
+                        self.stats.packets_dropped += 1;
+                        self.in_flight -= 1;
+                        self.link_stats[link.0 as usize][dir.index()].on_drop(size);
+                    }
+                }
+            }
         }
-        true
     }
 
     fn on_link_down(&mut self, link: LinkId) {
@@ -333,8 +442,12 @@ impl Simulator {
         rt.up = false;
         for dir in [Dir::AtoB, Dir::BtoA] {
             let state = &mut rt.dirs[dir.index()];
-            // The packet being serialized is lost on the wire.
-            if let Some(pkt) = state.transmitting.take() {
+            // The packet being serialized is lost on the wire. Bump the
+            // epoch so the pending TxDone for the aborted serialization is
+            // recognized as stale even if a fresh transmission starts on
+            // this direction before it fires.
+            if let Some((pkt, _tx_time)) = state.transmitting.take() {
+                state.epoch += 1;
                 self.stats.packets_dropped += 1;
                 self.in_flight -= 1;
                 self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
@@ -356,8 +469,8 @@ impl Simulator {
                 }
             }
         }
-        // A stale TxDone for the dropped transmission may still fire; it is
-        // ignored because `transmitting` is now empty (see on_tx_done).
+        // A stale TxDone for the dropped transmission may still fire; it
+        // carries the pre-abort epoch and is ignored (see on_tx_done).
     }
 
     // ---- internals ----
@@ -467,9 +580,10 @@ impl Simulator {
 
         if !state.is_busy() {
             let tx_time = capacity.tx_time(pkt.wire_size() as u64);
-            state.transmitting = Some(pkt);
+            let epoch = state.epoch;
+            state.transmitting = Some((pkt, tx_time));
             self.events
-                .push(self.now + tx_time, Event::TxDone { link, dir });
+                .push(self.now + tx_time, Event::TxDone { link, dir, epoch });
         } else {
             let meta = pkt.meta();
             match state.queue.enqueue(self.now, pkt, &mut self.rng) {
@@ -504,17 +618,22 @@ impl Simulator {
         }
     }
 
-    fn on_tx_done(&mut self, link: LinkId, dir: Dir) {
+    fn on_tx_done(&mut self, link: LinkId, dir: Dir, epoch: u64) {
         let spec = self.topo.link(link);
         let delay = spec.delay;
         let capacity = spec.capacity;
         let state = &mut self.links[link.0 as usize].dirs[dir.index()];
-        // A link-down event may have cleared the transmitter under a
-        // pending TxDone; the serialization was aborted.
-        let Some(pkt) = state.transmitting.take() else {
+        // A link-down event may have aborted the serialization this event
+        // belongs to: the abort bumped the direction's epoch, so a stale
+        // event (old epoch, or no transmission at all) is ignored.
+        if epoch != state.epoch {
+            return;
+        }
+        let Some((pkt, tx_time)) = state.transmitting.take() else {
             return;
         };
-        let tx_time = capacity.tx_time(pkt.wire_size() as u64);
+        // `tx_time` was fixed when the serialization started; a capacity
+        // fault mid-transmission does not retroactively change it.
         self.link_stats[link.0 as usize][dir.index()].on_tx(pkt.wire_size(), tx_time);
         // Wireless-style random corruption loss (after serialization).
         let corrupted = spec.loss_rate > 0.0 && self.rng.chance(spec.loss_rate);
@@ -544,9 +663,10 @@ impl Simulator {
         if let Some(next) = deq.pkt {
             let tx_time = capacity.tx_time(next.wire_size() as u64);
             let state = &mut self.links[link.0 as usize].dirs[dir.index()];
-            state.transmitting = Some(next);
+            let epoch = state.epoch;
+            state.transmitting = Some((next, tx_time));
             self.events
-                .push(self.now + tx_time, Event::TxDone { link, dir });
+                .push(self.now + tx_time, Event::TxDone { link, dir, epoch });
         }
     }
 

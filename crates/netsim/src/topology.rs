@@ -153,6 +153,26 @@ impl Topology {
         self.links[l.0 as usize].loss_rate = loss_rate;
     }
 
+    /// Change a link's capacity (both directions). Used by the fault layer
+    /// to model mid-run renegotiation; transmissions already serializing
+    /// keep the timing they started with.
+    pub fn set_link_capacity(&mut self, l: LinkId, capacity: Bandwidth) {
+        assert!(capacity.as_bps() > 0, "zero-capacity link");
+        self.links[l.0 as usize].capacity = capacity;
+    }
+
+    /// Change a link's one-way propagation delay (both directions).
+    pub fn set_link_delay(&mut self, l: LinkId, delay: SimDuration) {
+        self.links[l.0 as usize].delay = delay;
+    }
+
+    /// Replace a link's queue configuration. Only the *spec* changes here;
+    /// the simulator owns the runtime queues and rebuilds them when this is
+    /// applied as a fault.
+    pub fn set_link_queue(&mut self, l: LinkId, queue: QueueConfig) {
+        self.links[l.0 as usize].queue = queue;
+    }
+
     /// Look a node up by name.
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
         self.by_name.get(name).copied()

@@ -6,8 +6,21 @@
 //! `SRTT + max(G, 4·RTTVAR)` recipe with exponential backoff, clamped to
 //! `[min_rto, max_rto]` — Linux uses a 200 ms floor, which matters at the
 //! paper's millisecond RTTs, so that is our default too.
+//!
+//! The base-RTT estimate is a *windowed* minimum (Linux `minmax`-style):
+//! a lifetime minimum would go stale forever after a fault-induced reroute
+//! raises the propagation delay, feeding delay-based controllers (wVegas)
+//! a base RTT the path can no longer achieve and making them see permanent
+//! phantom queueing. Samples older than [`RttEstimator::min_rtt_window`]
+//! are expired from the filter.
 
-use simbase::SimDuration;
+use simbase::{SimDuration, SimTime};
+
+/// Default horizon for the windowed minimum RTT: long enough to survive
+/// queue-draining lulls at the paper's millisecond RTTs, short enough to
+/// re-learn the base RTT within seconds of a reroute (Linux's TCP min_rtt
+/// filter uses 10 s).
+pub const DEFAULT_MIN_RTT_WINDOW: SimDuration = SimDuration::from_secs(10);
 
 /// Smoothed RTT state and RTO computation.
 #[derive(Debug, Clone)]
@@ -16,8 +29,12 @@ pub struct RttEstimator {
     rttvar: SimDuration,
     /// Most recent raw sample.
     latest: Option<SimDuration>,
-    /// Smallest sample ever seen (base RTT; used by delay-based CC).
-    min_rtt: Option<SimDuration>,
+    /// Windowed-minimum filter for the base RTT: a deque of
+    /// `(sample_time, rtt)` kept ascending in both fields, so the front is
+    /// always the minimum over the window and the back the newest sample.
+    min_filter: std::collections::VecDeque<(SimTime, SimDuration)>,
+    /// Horizon of the windowed minimum.
+    min_rtt_window: SimDuration,
     /// Current backoff multiplier (power of two).
     backoff: u32,
     min_rto: SimDuration,
@@ -38,21 +55,45 @@ impl RttEstimator {
             srtt: None,
             rttvar: SimDuration::ZERO,
             latest: None,
-            min_rtt: None,
+            min_filter: std::collections::VecDeque::new(),
+            min_rtt_window: DEFAULT_MIN_RTT_WINDOW,
             backoff: 0,
             min_rto,
             max_rto,
         }
     }
 
-    /// Incorporate a sample (RFC 6298 §2) and reset backoff — a valid
-    /// sample proves the path is alive.
-    pub fn on_sample(&mut self, rtt: SimDuration) {
+    /// Set the windowed-minimum horizon (builder style).
+    pub fn with_min_rtt_window(mut self, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "min_rtt window must be positive");
+        self.min_rtt_window = window;
+        self
+    }
+
+    /// The configured windowed-minimum horizon.
+    pub fn min_rtt_window(&self) -> SimDuration {
+        self.min_rtt_window
+    }
+
+    /// Incorporate a sample taken at `now` (RFC 6298 §2) and reset
+    /// backoff — a valid sample proves the path is alive.
+    pub fn on_sample(&mut self, now: SimTime, rtt: SimDuration) {
         self.latest = Some(rtt);
-        self.min_rtt = Some(match self.min_rtt {
-            None => rtt,
-            Some(m) => m.min(rtt),
-        });
+        // Windowed minimum: expire samples beyond the horizon, then drop
+        // every queued sample >= the new one (it can never be the minimum
+        // while the newer, smaller sample is in the window). Both fields of
+        // the deque stay ascending, so the front is the window minimum.
+        while self
+            .min_filter
+            .front()
+            .is_some_and(|&(t, _)| now.saturating_since(t) > self.min_rtt_window)
+        {
+            self.min_filter.pop_front();
+        }
+        while self.min_filter.back().is_some_and(|&(_, r)| r >= rtt) {
+            self.min_filter.pop_back();
+        }
+        self.min_filter.push_back((now, rtt));
         match self.srtt {
             None => {
                 self.srtt = Some(rtt);
@@ -79,9 +120,11 @@ impl RttEstimator {
         self.latest
     }
 
-    /// Minimum RTT observed (base RTT).
+    /// Minimum RTT over the configured window (base RTT). Unlike a lifetime
+    /// minimum, this re-learns the base RTT after a reroute: pre-fault
+    /// samples age out of the filter.
     pub fn min_rtt(&self) -> Option<SimDuration> {
-        self.min_rtt
+        self.min_filter.front().map(|&(_, r)| r)
     }
 
     /// Current mean deviation estimate.
@@ -117,12 +160,17 @@ mod tests {
 
     const MS: fn(u64) -> SimDuration = SimDuration::from_millis;
 
+    /// Feed a sample at time `at_ms` milliseconds.
+    fn sample(e: &mut RttEstimator, at_ms: u64, rtt: SimDuration) {
+        e.on_sample(SimTime::from_millis(at_ms), rtt);
+    }
+
     #[test]
     fn first_sample_initializes() {
         let mut e = RttEstimator::default();
         assert_eq!(e.srtt(), None);
         assert_eq!(e.rto(), SimDuration::from_secs(1));
-        e.on_sample(MS(100));
+        sample(&mut e, 0, MS(100));
         assert_eq!(e.srtt(), Some(MS(100)));
         assert_eq!(e.rttvar(), MS(50));
         // RTO = 100 + 4*50 = 300ms.
@@ -132,8 +180,8 @@ mod tests {
     #[test]
     fn smoothing_converges_on_constant_rtt() {
         let mut e = RttEstimator::default();
-        for _ in 0..100 {
-            e.on_sample(MS(80));
+        for i in 0..100 {
+            sample(&mut e, i * 10, MS(80));
         }
         let srtt = e.srtt().unwrap();
         assert!(srtt >= MS(79) && srtt <= MS(81), "srtt={srtt}");
@@ -144,21 +192,21 @@ mod tests {
     #[test]
     fn variance_rises_on_jitter() {
         let mut e = RttEstimator::default();
-        e.on_sample(MS(50));
+        sample(&mut e, 0, MS(50));
         let rto_stable = e.rto();
-        e.on_sample(MS(250));
+        sample(&mut e, 50, MS(250));
         assert!(e.rto() > rto_stable, "jitter must inflate RTO");
     }
 
     #[test]
     fn backoff_doubles_and_sample_resets() {
         let mut e = RttEstimator::default();
-        e.on_sample(MS(100)); // RTO 300ms
+        sample(&mut e, 0, MS(100)); // RTO 300ms
         e.on_timeout();
         assert_eq!(e.rto(), MS(600));
         e.on_timeout();
         assert_eq!(e.rto(), MS(1200));
-        e.on_sample(MS(100));
+        sample(&mut e, 1000, MS(100));
         // rttvar decayed: 3/4·50 + 1/4·0 = 37.5 ms -> RTO 100 + 150 = 250.
         assert_eq!(e.rto(), MS(250));
         assert_eq!(e.backoff(), 0);
@@ -167,7 +215,7 @@ mod tests {
     #[test]
     fn rto_clamps_to_bounds() {
         let mut e = RttEstimator::new(MS(200), SimDuration::from_secs(2));
-        e.on_sample(MS(1)); // tiny RTT -> floor
+        sample(&mut e, 0, MS(1)); // tiny RTT -> floor
         assert_eq!(e.rto(), MS(200));
         for _ in 0..20 {
             e.on_timeout();
@@ -178,10 +226,58 @@ mod tests {
     #[test]
     fn min_rtt_tracks_floor() {
         let mut e = RttEstimator::default();
-        e.on_sample(MS(30));
-        e.on_sample(MS(10));
-        e.on_sample(MS(50));
+        sample(&mut e, 0, MS(30));
+        sample(&mut e, 10, MS(10));
+        sample(&mut e, 20, MS(50));
         assert_eq!(e.min_rtt(), Some(MS(10)));
         assert_eq!(e.latest(), Some(MS(50)));
+    }
+
+    #[test]
+    fn min_rtt_expires_after_reroute() {
+        // Regression: min_rtt was a lifetime minimum, so after a
+        // fault-induced reroute onto a longer path the base RTT stayed
+        // stale forever and delay-based CC saw phantom queueing. With the
+        // windowed filter the pre-reroute sample ages out.
+        let mut e = RttEstimator::default().with_min_rtt_window(SimDuration::from_secs(2));
+        sample(&mut e, 0, MS(10)); // short path
+        assert_eq!(e.min_rtt(), Some(MS(10)));
+        // Reroute: every sample now takes the 40 ms path.
+        sample(&mut e, 500, MS(40));
+        assert_eq!(e.min_rtt(), Some(MS(10)), "still inside the window");
+        sample(&mut e, 2_600, MS(40));
+        assert_eq!(
+            e.min_rtt(),
+            Some(MS(40)),
+            "the 10 ms sample is past the 2 s horizon and must expire"
+        );
+    }
+
+    #[test]
+    fn min_rtt_window_keeps_minimum_among_live_samples() {
+        // The filter must return the smallest *unexpired* sample, not just
+        // the latest: a recent low reading survives later higher ones.
+        let mut e = RttEstimator::default().with_min_rtt_window(SimDuration::from_secs(2));
+        sample(&mut e, 0, MS(30));
+        sample(&mut e, 100, MS(12));
+        sample(&mut e, 200, MS(25));
+        sample(&mut e, 300, MS(50));
+        assert_eq!(e.min_rtt(), Some(MS(12)));
+        // At 2.15 s the 12 ms sample (taken at 0.1 s) is expired but the
+        // 25 ms one (taken at 0.2 s) is still inside the 2 s window.
+        sample(&mut e, 2_150, MS(60));
+        assert_eq!(e.min_rtt(), Some(MS(25)));
+    }
+
+    #[test]
+    fn default_window_matches_linux_style_horizon() {
+        let e = RttEstimator::default();
+        assert_eq!(e.min_rtt_window(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rtt window must be positive")]
+    fn zero_window_rejected() {
+        let _ = RttEstimator::default().with_min_rtt_window(SimDuration::ZERO);
     }
 }

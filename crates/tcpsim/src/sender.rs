@@ -610,7 +610,7 @@ impl TcpSender {
                 // Reject absurd samples from clock wrap (> 1 hour).
                 if sample_us < 3_600_000_000 {
                     self.rtt
-                        .on_sample(SimDuration::from_micros(sample_us as u64));
+                        .on_sample(now, SimDuration::from_micros(sample_us as u64));
                 }
             }
         }

@@ -355,6 +355,12 @@ mod tests {
             CrateKind::classify("crates/netsim/src/sim.rs"),
             CrateKind::Sim
         );
+        // The fault layer mutates the event-driven simulation mid-run and
+        // must obey the full determinism ruleset.
+        assert_eq!(
+            CrateKind::classify("crates/netsim/src/faults.rs"),
+            CrateKind::Sim
+        );
         assert_eq!(
             CrateKind::classify("crates/core/src/runner.rs"),
             CrateKind::Sim
