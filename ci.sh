@@ -9,8 +9,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> simlint (determinism & invariant source analysis)"
-cargo run -p xtask --offline --quiet -- lint
+echo "==> simlint (token-level source analysis, ratcheted baseline)"
+# Fails on any NEW finding, any dead pragma, and any stale baseline entry
+# (the ratchet may only shrink). See DESIGN.md "Source lint".
+cargo run -p xtask --offline --quiet -- simlint --baseline results/simlint_baseline.json
 
 echo "==> cargo test"
 cargo test --workspace --offline -q
@@ -24,6 +26,10 @@ cmp /tmp/sweep_serial.txt /tmp/sweep_pooled.txt || {
     exit 1
 }
 rm -f /tmp/sweep_serial.txt /tmp/sweep_pooled.txt
+
+echo "==> perf snapshot (events/sec, packets/sec, lint lines/sec, peak RSS)"
+./target/release/perf_snapshot > BENCH_simlint.json
+cat BENCH_simlint.json
 
 echo "==> fluid-model smoke (paper topology, all laws)"
 ./target/release/fluid_table --smoke

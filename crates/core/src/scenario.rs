@@ -314,6 +314,7 @@ impl Scenario {
             per_path_steady_mbps,
             drops: sim.stats().packets_dropped,
             events: sim.stats().events,
+            packets_delivered: sim.stats().packets_delivered,
             data_delivered: receiver.data_delivered(),
             duplicate_bytes: receiver.stats().duplicate_bytes,
             subflow_stats,
@@ -339,6 +340,10 @@ pub struct RunResult {
     pub drops: u64,
     /// Simulator events processed.
     pub events: u64,
+    /// Packets delivered to any sink across the network (wire-level, all
+    /// agents and cross traffic; the perf snapshot derives packets/sec
+    /// from this).
+    pub packets_delivered: u64,
     /// Connection-level in-order bytes delivered.
     pub data_delivered: u64,
     /// Connection-level duplicate bytes received.

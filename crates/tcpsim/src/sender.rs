@@ -572,9 +572,12 @@ impl TcpSender {
             }
             return None;
         }
-        if (room as u32 as u64) < len as u64 || room < len as u64 {
+        if room < len as u64 {
             // Avoid silly-window segments: send only when a full segment
-            // (or the final short tail) fits.
+            // (or the final short tail) fits. `room` must be compared at
+            // full u64 width: it exceeds u32 whenever cwnd and the peer
+            // window do, and truncating it here stalled such senders when
+            // the low 32 bits of `room` happened to fall below one MSS.
             return None;
         }
         if self.flight_size() + len as u64 > self.peer_window {
@@ -1106,6 +1109,41 @@ mod tests {
         assert_eq!(segs.len(), 3, "window 4480 fits 3 full segments");
         assert!(segs.iter().all(|t| t.len == MSS));
         assert!(s.flight_size() <= small_window as u64);
+    }
+
+    /// Regression: the silly-window check used to compare `room` through a
+    /// `u32` truncation, so a window whose low 32 bits fell below one MSS
+    /// (here 2^32 + 100 bytes of room) stalled the sender completely even
+    /// though gigabytes of window were open.
+    #[test]
+    fn send_window_beyond_4gib_does_not_stall() {
+        #[derive(Debug)]
+        struct HugeWindow;
+        impl CongestionControl for HugeWindow {
+            fn on_ack(&mut self, _ctx: &AckContext) {}
+            fn on_loss_event(&mut self, _ctx: &LossContext) {}
+            fn on_rto(&mut self, _ctx: &LossContext) {}
+            fn cwnd(&self) -> u64 {
+                (1 << 32) + 100
+            }
+            fn ssthresh(&self) -> u64 {
+                u64::MAX
+            }
+            fn name(&self) -> &'static str {
+                "huge"
+            }
+        }
+        let cfg = TcpConfig {
+            assumed_peer_window: (1 << 32) + 100,
+            ..TcpConfig::default()
+        };
+        let mut s = TcpSender::new(cfg, Box::new(HugeWindow));
+        s.set_unlimited();
+        let seg = s.poll_segment(SimTime::ZERO);
+        assert!(
+            seg.is_some_and(|t| t.len == MSS),
+            "a full-MSS segment must go out when >4GiB of window is open"
+        );
     }
 
     #[test]

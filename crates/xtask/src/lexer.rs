@@ -1,17 +1,24 @@
-//! Source preprocessing for simlint.
+//! Source scanning for simlint: a token-level view of each file.
 //!
-//! Rust is not parsed; instead each file is reduced to a per-line "code
-//! view" with comments and string/char literal *contents* blanked out, so
-//! rules can do token-level matching without tripping on prose. Two side
-//! channels are extracted while scanning:
+//! Rust is not fully parsed; instead each file is scanned once into a
+//! token stream — identifiers, numeric literals with their suffixes,
+//! operators, delimiters, lifetimes, and (blanked) string/char literals —
+//! with per-token spans. Comments and literal *contents* never become
+//! tokens, so rules can match exact token sequences without tripping on
+//! prose, doc attributes, or identifiers that merely contain a rule's
+//! needle (`unwrapped`, `InstantaneousRate`, …).
 //!
-//! * `simlint: allow(...)` pragmas found in line comments, and
+//! Three side channels are extracted while scanning:
+//!
+//! * `simlint: allow(...)` pragmas found in line comments,
 //! * the set of lines inside `#[cfg(test)]` items (tracked by matching the
-//!   braces of the item that follows the attribute).
+//!   braces of the item that follows the attribute), and
+//! * a delimiter match map (`(`↔`)`, `[`↔`]`, `{`↔`}`) so rules can skip
+//!   or inspect whole groups.
 //!
-//! The lexer is deliberately conservative: when in doubt it keeps text in
-//! the code view (a false positive is visible and suppressible; a silent
-//! false negative is not).
+//! The scanner is deliberately conservative: when in doubt it keeps text
+//! in the token stream (a false positive is visible and suppressible; a
+//! silent false negative is not).
 
 /// A parsed `// simlint: allow(rule, reason = "...")` pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,14 +33,93 @@ pub struct AllowPragma {
     pub standalone: bool,
 }
 
-/// Result of preprocessing one file.
+/// Half-open character span of one token within one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 0-based starting character column.
+    pub col: usize,
+    /// 0-based column one past the last character.
+    pub end_col: usize,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `for`, …).
+    Ident,
+    /// Lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// Integer literal; `suffix` is `Some("u32")` for `7u32`.
+    Int { suffix: Option<String> },
+    /// Float literal (has a `.`, an exponent, or an `f32`/`f64` suffix).
+    Float { suffix: Option<String> },
+    /// String literal (raw or not); contents are not retained.
+    StrLit,
+    /// Char or byte-char literal; contents are not retained.
+    CharLit,
+    /// Operator or punctuation (multi-char ops are single tokens: `==`,
+    /// `::`, `+=`, `..=`, …).
+    Op,
+    /// Opening delimiter: `(`, `[`, or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]`, or `}`.
+    Close,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text (literal contents blanked for strings/chars).
+    pub text: String,
+    /// Location.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text when it is an identifier, else `None`.
+    pub fn ident(&self) -> Option<&str> {
+        match self.kind {
+            TokenKind::Ident => Some(&self.text),
+            _ => None,
+        }
+    }
+
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True if this is the operator `op`.
+    pub fn is_op(&self, op: &str) -> bool {
+        self.kind == TokenKind::Op && self.text == op
+    }
+
+    /// True if this is the opening delimiter `c`.
+    pub fn is_open(&self, c: char) -> bool {
+        self.kind == TokenKind::Open && self.text.starts_with(c)
+    }
+
+    /// True if this is the closing delimiter `c`.
+    pub fn is_close(&self, c: char) -> bool {
+        self.kind == TokenKind::Close && self.text.starts_with(c)
+    }
+}
+
+/// Result of scanning one file.
 #[derive(Debug, Default)]
 pub struct SourceView {
-    /// Code per line: comments and literal contents blanked, length preserved
-    /// where practical (literal contents become spaces, delimiters remain).
-    pub code_lines: Vec<String>,
     /// Raw lines, for excerpts in reports.
     pub raw_lines: Vec<String>,
+    /// The file's token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// `match_of[i]` is the index of the delimiter token matching token
+    /// `i` (`Open`→`Close` and back); `None` for non-delimiters and
+    /// unbalanced delimiters.
+    pub match_of: Vec<Option<usize>>,
     /// Allow pragmas, in file order.
     pub pragmas: Vec<AllowPragma>,
     /// `in_test[i]` is true when 0-based line `i` is inside a `#[cfg(test)]` item.
@@ -47,8 +133,13 @@ impl SourceView {
     }
 
     /// Whether a violation of `rule` on 1-based `line` is suppressed by a
-    /// well-formed pragma on the same line or a standalone pragma just above.
+    /// well-formed pragma on the same line or a standalone pragma just
+    /// above. The `dead-pragma` rule itself cannot be suppressed (a stale
+    /// pragma must be deleted, not allowed).
     pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        if rule == "dead-pragma" {
+            return false;
+        }
         self.pragmas.iter().any(|p| {
             p.rule == rule
                 && !p.reason.is_empty()
@@ -60,72 +151,26 @@ impl SourceView {
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Code,
-    LineComment,
+    /// Inside a (nestable) block comment, at the given depth.
     BlockComment(u32),
-    Str,
-    RawStr(u32),
-    Char,
+    /// Inside a string literal; `Some(n)` = raw string with `n` hashes.
+    Str(Option<u32>),
 }
 
-/// Preprocess a file's text.
+/// Scan a file's text into a [`SourceView`].
 pub fn scan(text: &str) -> SourceView {
     let mut view = SourceView::default();
     let mut mode = Mode::Code;
+    let mut pragma_lines: Vec<(String, usize)> = Vec::new();
 
-    for raw_line in text.lines() {
+    for (line0, raw_line) in text.lines().enumerate() {
+        let line = line0 + 1;
         view.raw_lines.push(raw_line.to_string());
-        let mut code = String::with_capacity(raw_line.len());
-        let mut comment = String::new();
         let chars: Vec<char> = raw_line.chars().collect();
         let mut i = 0usize;
         while i < chars.len() {
-            let c = chars[i];
-            let next = chars.get(i + 1).copied();
             match mode {
-                Mode::Code => match (c, next) {
-                    ('/', Some('/')) => {
-                        comment.push_str(&raw_line[byte_pos(&chars, i)..]);
-                        mode = Mode::LineComment;
-                        i = chars.len();
-                        continue;
-                    }
-                    ('/', Some('*')) => {
-                        mode = Mode::BlockComment(1);
-                        i += 2;
-                        continue;
-                    }
-                    ('r', Some('"')) | ('r', Some('#')) if is_raw_string_start(&chars, i) => {
-                        let hashes = count_hashes(&chars, i + 1);
-                        code.push_str("\"\"");
-                        mode = Mode::RawStr(hashes);
-                        i += 2 + hashes as usize; // r, hashes, opening quote
-                        continue;
-                    }
-                    ('b', Some('"')) => {
-                        code.push_str("\"\"");
-                        mode = Mode::Str;
-                        i += 2;
-                        continue;
-                    }
-                    ('"', _) => {
-                        code.push_str("\"\"");
-                        mode = Mode::Str;
-                        i += 1;
-                        continue;
-                    }
-                    ('\'', _) if is_char_literal(&chars, i) => {
-                        code.push_str("' '");
-                        mode = Mode::Char;
-                        i += 1;
-                        continue;
-                    }
-                    _ => {
-                        code.push(c);
-                        i += 1;
-                    }
-                },
-                Mode::LineComment => unreachable!("line comments consume the rest of the line"),
-                Mode::BlockComment(depth) => match (c, next) {
+                Mode::BlockComment(depth) => match (chars[i], chars.get(i + 1)) {
                     ('*', Some('/')) => {
                         mode = if depth == 1 {
                             Mode::Code
@@ -140,59 +185,274 @@ pub fn scan(text: &str) -> SourceView {
                     }
                     _ => i += 1,
                 },
-                Mode::Str => match (c, next) {
-                    ('\\', Some(_)) => i += 2,
-                    ('"', _) => {
-                        mode = Mode::Code;
-                        i += 1;
+                Mode::Str(raw) => match raw {
+                    None => match (chars[i], chars.get(i + 1)) {
+                        ('\\', Some(_)) => i += 2,
+                        ('"', _) => {
+                            mode = Mode::Code;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    },
+                    Some(hashes) => {
+                        if chars[i] == '"' && hashes_follow(&chars, i + 1, hashes) {
+                            mode = Mode::Code;
+                            i += 1 + hashes as usize;
+                        } else {
+                            i += 1;
+                        }
                     }
-                    _ => i += 1,
                 },
-                Mode::RawStr(hashes) => {
-                    if c == '"' && hashes_follow(&chars, i + 1, hashes) {
-                        mode = Mode::Code;
-                        i += 1 + hashes as usize;
-                    } else {
+                Mode::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    if c.is_whitespace() {
                         i += 1;
+                        continue;
                     }
+                    // Comments. Doc comments (`///`, `//!`) are prose — a
+                    // pragma mentioned there is documentation, not a
+                    // suppression — so only plain `//` comments are
+                    // collected for pragma parsing.
+                    if c == '/' && next == Some('/') {
+                        let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'))
+                            && chars.get(i + 3) != Some(&'/');
+                        if !is_doc {
+                            pragma_lines.push((chars[i..].iter().collect(), line));
+                        }
+                        break;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    // Raw strings: r"...", r#"..."#, br"...", br#"..."#.
+                    if (c == 'r' && is_raw_string_start(&chars, i))
+                        || (c == 'b'
+                            && next == Some('r')
+                            && is_raw_string_start_at(&chars, i + 1)
+                            && !prev_is_ident_char(&chars, i))
+                    {
+                        let r_at = if c == 'r' { i } else { i + 1 };
+                        let hashes = count_hashes(&chars, r_at + 1);
+                        push(&mut view, TokenKind::StrLit, "\"\"", line, i, i + 1);
+                        mode = Mode::Str(Some(hashes));
+                        i = r_at + 2 + hashes as usize; // r, hashes, opening quote
+                        continue;
+                    }
+                    // Byte strings and byte chars.
+                    if c == 'b' && next == Some('"') && !prev_is_ident_char(&chars, i) {
+                        push(&mut view, TokenKind::StrLit, "\"\"", line, i, i + 2);
+                        mode = Mode::Str(None);
+                        i += 2;
+                        continue;
+                    }
+                    if c == 'b'
+                        && next == Some('\'')
+                        && !prev_is_ident_char(&chars, i)
+                        && is_char_literal(&chars, i + 1)
+                    {
+                        let end = consume_char_literal(&chars, i + 1);
+                        push(&mut view, TokenKind::CharLit, "' '", line, i, end);
+                        i = end;
+                        continue;
+                    }
+                    if c == '"' {
+                        push(&mut view, TokenKind::StrLit, "\"\"", line, i, i + 1);
+                        mode = Mode::Str(None);
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        if is_char_literal(&chars, i) {
+                            let end = consume_char_literal(&chars, i);
+                            push(&mut view, TokenKind::CharLit, "' '", line, i, end);
+                            i = end;
+                        } else {
+                            // Lifetime: quote + identifier, no closing quote.
+                            let mut j = i + 1;
+                            while j < chars.len() && is_ident_char(chars[j]) {
+                                j += 1;
+                            }
+                            let name: String = chars[i + 1..j].iter().collect();
+                            push(&mut view, TokenKind::Lifetime, &name, line, i, j);
+                            i = j;
+                        }
+                        continue;
+                    }
+                    if c.is_ascii_digit() {
+                        i = lex_number(&mut view, &chars, i, line);
+                        continue;
+                    }
+                    if is_ident_start(c) {
+                        let mut j = i + 1;
+                        while j < chars.len() && is_ident_char(chars[j]) {
+                            j += 1;
+                        }
+                        let text: String = chars[i..j].iter().collect();
+                        push(&mut view, TokenKind::Ident, &text, line, i, j);
+                        i = j;
+                        continue;
+                    }
+                    if matches!(c, '(' | '[' | '{') {
+                        push(&mut view, TokenKind::Open, &c.to_string(), line, i, i + 1);
+                        i += 1;
+                        continue;
+                    }
+                    if matches!(c, ')' | ']' | '}') {
+                        push(&mut view, TokenKind::Close, &c.to_string(), line, i, i + 1);
+                        i += 1;
+                        continue;
+                    }
+                    // Operators, longest-match first.
+                    let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                    let op_len = op_length(&rest);
+                    let text: String = chars[i..i + op_len].iter().collect();
+                    push(&mut view, TokenKind::Op, &text, line, i, i + op_len);
+                    i += op_len;
                 }
-                Mode::Char => match (c, next) {
-                    ('\\', Some(_)) => i += 2,
-                    ('\'', _) => {
-                        mode = Mode::Code;
-                        i += 1;
-                    }
-                    _ => i += 1,
-                },
             }
         }
-        // A string/char literal cannot span lines unless raw/escaped; reset
-        // the char mode defensively so one bad parse doesn't eat the file.
-        if mode == Mode::Char {
-            mode = Mode::Code;
-        }
-        if mode == Mode::LineComment {
-            mode = Mode::Code;
-        }
-
-        let line_no = view.raw_lines.len();
-        if let Some(pragma) = parse_pragma(&comment, line_no, code.trim().is_empty()) {
-            view.pragmas.push(pragma);
-        }
-        view.code_lines.push(code);
     }
 
-    view.in_test = mark_test_regions(&view.code_lines);
+    // Pragmas: a pragma is standalone when its line carries no code tokens.
+    for (comment, line) in pragma_lines {
+        let has_code = view.tokens.iter().any(|t| t.span.line == line);
+        if let Some(p) = parse_pragma(&comment, line, !has_code) {
+            view.pragmas.push(p);
+        }
+    }
+
+    view.match_of = match_delimiters(&view.tokens);
+    view.in_test = mark_test_regions(&view);
     view
 }
 
-fn byte_pos(chars: &[char], idx: usize) -> usize {
-    chars[..idx].iter().map(|c| c.len_utf8()).sum()
+fn push(view: &mut SourceView, kind: TokenKind, text: &str, line: usize, col: usize, end: usize) {
+    view.tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        span: Span {
+            line,
+            col,
+            end_col: end,
+        },
+    });
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn prev_is_ident_char(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident_char(chars[i - 1])
+}
+
+/// Lex a numeric literal starting at `chars[i]`; returns the index one past
+/// it. Handles `0x`/`0o`/`0b` prefixes, `_` separators, decimal points
+/// (but not ranges `1..` or method calls `1.max(2)`), exponents
+/// (`1e-3`), and type suffixes (`1e-3f64`, `7u32`).
+fn lex_number(view: &mut SourceView, chars: &[char], start: usize, line: usize) -> usize {
+    let mut i = start;
+    let mut is_float = false;
+    if chars[i] == '0' && matches!(chars.get(i + 1), Some('x') | Some('o') | Some('b')) {
+        i += 2;
+        while i < chars.len() && (chars[i].is_ascii_hexdigit() || chars[i] == '_') {
+            i += 1;
+        }
+    } else {
+        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+        // Fractional part: `1.5`, or a trailing `1.` — but not `1..2`
+        // (range) and not `1.max(2)` (method call on an integer).
+        if i < chars.len() && chars[i] == '.' {
+            match chars.get(i + 1) {
+                Some(d) if d.is_ascii_digit() => {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(*c) => {}
+                _ => {
+                    is_float = true;
+                    i += 1;
+                }
+            }
+        }
+        // Exponent: `e`/`E` followed by optional sign and digits.
+        if i < chars.len() && matches!(chars[i], 'e' | 'E') {
+            let sign = matches!(chars.get(i + 1), Some('+') | Some('-'));
+            let digit_at = if sign { i + 2 } else { i + 1 };
+            if chars.get(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                i = digit_at + 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Type suffix.
+    let suffix_start = i;
+    while i < chars.len() && is_ident_char(chars[i]) {
+        i += 1;
+    }
+    let suffix: Option<String> = if i > suffix_start {
+        Some(chars[suffix_start..i].iter().collect())
+    } else {
+        None
+    };
+    if matches!(suffix.as_deref(), Some("f32") | Some("f64")) {
+        is_float = true;
+    }
+    let text: String = chars[start..i].iter().collect();
+    let kind = if is_float {
+        TokenKind::Float { suffix }
+    } else {
+        TokenKind::Int { suffix }
+    };
+    push(view, kind, &text, line, start, i);
+    i
+}
+
+/// Longest operator at the head of `rest` (which holds at most 3 chars).
+fn op_length(rest: &str) -> usize {
+    const THREE: &[&str] = &["<<=", ">>=", "..=", "..."];
+    const TWO: &[&str] = &[
+        "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=",
+        "|=", "&=", "<<", ">>", "..",
+    ];
+    for op in THREE {
+        if rest.starts_with(op) {
+            return 3;
+        }
+    }
+    for op in TWO {
+        if rest.starts_with(op) {
+            return 2;
+        }
+    }
+    1
 }
 
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     // `r"` or `r#...#"` — and the `r` must not be part of a longer identifier.
-    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+    !prev_is_ident_char(chars, i) && is_raw_string_start_at(chars, i)
+}
+
+/// `chars[i]` is `r` and a raw string opens here (ignoring what precedes).
+/// Raw identifiers (`r#match`) do not qualify: the hashes must end in `"`.
+fn is_raw_string_start_at(chars: &[char], i: usize) -> bool {
+    if chars.get(i) != Some(&'r') {
         return false;
     }
     let mut j = i + 1;
@@ -226,10 +486,24 @@ fn hashes_follow(chars: &[char], mut i: usize, n: u32) -> bool {
 fn is_char_literal(chars: &[char], i: usize) -> bool {
     match chars.get(i + 1) {
         Some('\\') => true,
-        Some(c) if c.is_alphanumeric() || *c == '_' => chars.get(i + 2) == Some(&'\''),
+        Some(c) if is_ident_char(*c) => chars.get(i + 2) == Some(&'\''),
         Some(_) => true, // punctuation char literal like '(' or ' '
         None => false,
     }
+}
+
+/// From the opening quote at `i`, return the index one past the closing
+/// quote (or end of line — a char literal cannot span lines).
+fn consume_char_literal(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    chars.len()
 }
 
 /// Parse `simlint: allow(rule, reason = "...")` out of a line comment.
@@ -259,88 +533,236 @@ fn parse_pragma(comment: &str, line: usize, standalone: bool) -> Option<AllowPra
     })
 }
 
-/// Mark lines covered by `#[cfg(test)]` items by brace-matching the item
-/// that follows each attribute.
-fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; code_lines.len()];
-    let mut li = 0usize;
-    while li < code_lines.len() {
-        if let Some(col) = code_lines[li].find("#[cfg(test)]") {
-            let (end_line, _) = match_item_braces(code_lines, li, col);
-            for flag in in_test.iter_mut().take(end_line + 1).skip(li) {
-                *flag = true;
+/// Pair up delimiter tokens. Mismatched kinds are paired anyway (defensive:
+/// macro-heavy code can confuse a token-level scan, and an approximate map
+/// beats none), unbalanced ones map to `None`.
+fn match_delimiters(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut map = vec![None; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Open => stack.push(i),
+            TokenKind::Close => {
+                if let Some(open) = stack.pop() {
+                    map[open] = Some(i);
+                    map[i] = Some(open);
+                }
             }
-            li = end_line + 1;
-        } else {
-            li += 1;
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Mark lines covered by `#[cfg(test)]` items by brace-matching the item
+/// that follows each attribute (token-level: `#` `[` `cfg` `(` `test` …).
+fn mark_test_regions(view: &SourceView) -> Vec<bool> {
+    let mut in_test = vec![false; view.raw_lines.len()];
+    let toks = &view.tokens;
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        let is_cfg_test = toks[i].is_op("#")
+            && toks[i + 1].is_open('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_open('(')
+            && toks[i + 4].is_ident("test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let attr_end = view.match_of[i + 1].unwrap_or(i + 4);
+        let start_line = toks[i].span.line;
+        // Find where the item that follows the attribute ends: at the
+        // matching brace of its body, or at a `;` for braceless items
+        // (`#[cfg(test)] use foo;`).
+        let mut end_line = view.raw_lines.len();
+        let mut j = attr_end + 1;
+        while j < toks.len() {
+            if toks[j].is_open('{') {
+                let close = view.match_of[j].unwrap_or(toks.len() - 1);
+                end_line = toks[close].span.line;
+                i = close + 1;
+                break;
+            }
+            if toks[j].is_op(";") {
+                end_line = toks[j].span.line;
+                i = j + 1;
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            i = j;
+        }
+        for flag in in_test
+            .iter_mut()
+            .take(end_line)
+            .skip(start_line.saturating_sub(1))
+        {
+            *flag = true;
         }
     }
     in_test
-}
-
-/// From the attribute position, find the `{` that opens the following item
-/// and return the (line, depth-balanced) end of that item.
-fn match_item_braces(code_lines: &[String], start_line: usize, start_col: usize) -> (usize, bool) {
-    let mut depth = 0i32;
-    let mut opened = false;
-    for (li, line) in code_lines.iter().enumerate().skip(start_line) {
-        let text: &str = if li == start_line {
-            &line[start_col..]
-        } else {
-            line
-        };
-        for c in text.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    opened = true;
-                }
-                '}' => depth -= 1,
-                // An item ending in `;` before any brace (e.g. `#[cfg(test)] use x;`)
-                // covers just through that line.
-                ';' if !opened => return (li, true),
-                _ => {}
-            }
-            if opened && depth == 0 {
-                return (li, true);
-            }
-        }
-    }
-    (code_lines.len().saturating_sub(1), false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
     #[test]
     fn strips_comments_and_strings() {
-        let v = scan("let x = \"HashMap\"; // HashMap in comment\nlet y = 'I';\n");
-        assert!(!v.code_lines[0].contains("HashMap"));
-        assert!(v.code_lines[0].contains("let x"));
-        assert!(!v.code_lines[1].contains('I'));
+        let toks = texts("let x = \"HashMap\"; // HashMap in comment\nlet y = 'I';\n");
+        assert!(!toks.iter().any(|t| t.contains("HashMap")));
+        assert!(toks.iter().any(|t| t == "let"));
+        assert!(!toks.iter().any(|t| t.contains('I')));
     }
 
     #[test]
     fn keeps_code_around_raw_strings() {
-        let v = scan("let s = r#\"Instant::now()\"#; foo();\n");
-        assert!(!v.code_lines[0].contains("Instant"));
-        assert!(v.code_lines[0].contains("foo()"));
+        let toks = texts("let s = r#\"Instant::now()\"#; foo();\n");
+        assert!(!toks.iter().any(|t| t.contains("Instant")));
+        assert!(toks.iter().any(|t| t == "foo"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_resume_code_after_close() {
+        let src = "let s = r#\"no Instant\nstill string HashMap\nend\"#; after();\n";
+        let toks = texts(src);
+        assert!(!toks.iter().any(|t| t.contains("Instant")));
+        assert!(!toks.iter().any(|t| t.contains("HashMap")));
+        assert!(toks.iter().any(|t| t == "after"));
     }
 
     #[test]
     fn lifetimes_are_not_char_literals() {
         let v = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
-        assert!(v.code_lines[0].contains("&'a str"));
+        let lifetimes: Vec<_> = v
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert!(v.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_and_byte_chars_are_blanked() {
+        let v = scan("let a = 'x'; let b = b'y'; let c = '\\n';\n");
+        let chars: Vec<_> = v
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 3);
+        assert!(!v.tokens.iter().any(|t| t.text.contains('x')));
     }
 
     #[test]
     fn block_comments_nest_and_span_lines() {
-        let v = scan("a(); /* outer /* inner */ still comment\nstill */ b();\n");
-        assert!(v.code_lines[0].contains("a()"));
-        assert!(!v.code_lines[0].contains("still"));
-        assert!(!v.code_lines[1].contains("still"));
-        assert!(v.code_lines[1].contains("b()"));
+        let toks = texts("a(); /* outer /* inner */ still comment\nstill */ b();\n");
+        assert!(toks.iter().any(|t| t == "a"));
+        assert!(!toks.iter().any(|t| t.contains("still")));
+        assert!(toks.iter().any(|t| t == "b"));
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes() {
+        let toks = kinds("let a = 1e-3f64; let b = 0x1Fu32; let c = 1_000usize; let d = 2.5;\n");
+        assert!(toks.contains(&(
+            TokenKind::Float {
+                suffix: Some("f64".into())
+            },
+            "1e-3f64".into()
+        )));
+        assert!(toks.contains(&(
+            TokenKind::Int {
+                suffix: Some("u32".into())
+            },
+            "0x1Fu32".into()
+        )));
+        assert!(toks.contains(&(
+            TokenKind::Int {
+                suffix: Some("usize".into())
+            },
+            "1_000usize".into()
+        )));
+        assert!(toks.contains(&(TokenKind::Float { suffix: None }, "2.5".into())));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let toks = kinds("for i in 0..10 { x = 1.max(2); }\n");
+        assert!(toks.contains(&(TokenKind::Int { suffix: None }, "0".into())));
+        assert!(toks.contains(&(TokenKind::Int { suffix: None }, "10".into())));
+        assert!(toks.contains(&(TokenKind::Op, "..".into())));
+        assert!(toks.contains(&(TokenKind::Int { suffix: None }, "1".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+        assert!(!toks
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::Float { .. })));
+    }
+
+    #[test]
+    fn trailing_dot_float_and_exponents() {
+        let toks = kinds("let a = 1.; let b = 1.5e3; let c = 2E-7;\n");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Float { .. }))
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.", "1.5e3", "2E-7"]);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let toks = texts("a += b; c ..= d; e <<= f; g == h; i != j; k :: l;\n");
+        for op in ["+=", "..=", "<<=", "==", "!=", "::"] {
+            assert!(toks.iter().any(|t| t == op), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn as_casts_split_across_lines_stay_adjacent_tokens() {
+        let v = scan("let x = some_long_expression\n    as u32;\n");
+        let idx = v.tokens.iter().position(|t| t.is_ident("as")).unwrap();
+        assert!(v.tokens[idx + 1].is_ident("u32"));
+        assert_eq!(v.tokens[idx].span.line, 2);
+    }
+
+    #[test]
+    fn delimiter_matching() {
+        let v = scan("f(a[i], g(b));\n");
+        let open_paren = v.tokens.iter().position(|t| t.is_open('(')).unwrap();
+        let close = v.match_of[open_paren].unwrap();
+        assert!(v.tokens[close].is_close(')'));
+        assert_eq!(v.match_of[close], Some(open_paren));
+        let open_bracket = v.tokens.iter().position(|t| t.is_open('[')).unwrap();
+        assert!(v.tokens[v.match_of[open_bracket].unwrap()].is_close(']'));
+    }
+
+    #[test]
+    fn spans_are_line_and_column_accurate() {
+        let v = scan("let x = 7;\nlet yy = 88;\n");
+        let seven = v.tokens.iter().find(|t| t.text == "7").unwrap();
+        assert_eq!(
+            (seven.span.line, seven.span.col, seven.span.end_col),
+            (1, 8, 9)
+        );
+        let yy = v.tokens.iter().find(|t| t.text == "yy").unwrap();
+        assert_eq!((yy.span.line, yy.span.col, yy.span.end_col), (2, 4, 6));
     }
 
     #[test]
@@ -377,5 +799,21 @@ mod tests {
         let v = scan(src);
         assert!(v.line_in_test(1));
         assert!(!v.line_in_test(2));
+    }
+
+    #[test]
+    fn cfg_test_with_intervening_attributes() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T {\n  x: u32,\n}\nfn prod() {}\n";
+        let v = scan(src);
+        assert!(v.line_in_test(3));
+        assert!(v.line_in_test(5));
+        assert!(!v.line_in_test(6));
+    }
+
+    #[test]
+    fn unterminated_char_mode_does_not_eat_the_file() {
+        // Defensive: a stray quote must not blank the rest of the file.
+        let v = scan("let a = 'x; after();\nInstant::now();\n");
+        assert!(v.tokens.iter().any(|t| t.is_ident("Instant")));
     }
 }

@@ -1,0 +1,11 @@
+//! Workspace automation library: the simlint token-level static analysis
+//! pass. The `xtask` binary is a thin CLI over these modules; they are a
+//! library so simlint's own integration tests (`tests/golden.rs`) can lint
+//! fixture text through the exact production path.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lint;
+pub mod rules;

@@ -1,41 +1,76 @@
-//! simlint driver: file discovery, rule dispatch, and report formatting.
+//! simlint driver: file discovery, rule dispatch, baseline application,
+//! and report formatting (human and stable JSON schema v1).
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+use crate::baseline::{self, Baseline, StaleEntry};
 use crate::lexer;
-use crate::rules::{self, Violation};
+use crate::rules::{self, rule_severity, BaselineStatus, Violation};
 
 /// Aggregated lint result.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All findings, sorted by (file, line, rule).
+    /// All findings, sorted by (file, line, col, rule).
     pub violations: Vec<Violation>,
+    /// Baseline entries that overcount reality (each one fails the lint:
+    /// the ratchet may only move down, explicitly).
+    pub stale: Vec<StaleEntry>,
     /// Number of files scanned.
     pub files_checked: usize,
 }
 
 impl Violation {
-    /// One-line human rendering, `file:line: [rule] message`.
+    /// One-line human rendering, `file:line:col: [rule] message`.
     pub fn display(&self, _root: &Path) -> String {
+        let tag = match self.status {
+            BaselineStatus::New => "",
+            BaselineStatus::Baselined => " (baselined)",
+        };
         format!(
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}]{} {}",
+            self.file,
+            self.line,
+            self.col + 1,
+            self.rule,
+            tag,
+            self.message
         )
     }
 }
 
 impl Report {
-    /// Machine-readable rendering. Hand-rolled JSON: the workspace has no
-    /// serializer dependency and the schema is flat.
+    /// Findings that fail the lint: everything not absorbed by the baseline.
+    pub fn new_findings(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.status == BaselineStatus::New)
+    }
+
+    /// True when CI should fail: a new finding or a stale baseline entry.
+    pub fn failed(&self) -> bool {
+        self.new_findings().next().is_some() || !self.stale.is_empty()
+    }
+
+    /// Stable machine-readable rendering, schema v1. Hand-rolled JSON: the
+    /// workspace has no serializer dependency and the schema is flat. The
+    /// golden-file test in `tests/golden.rs` pins this format; bump
+    /// `schema_version` on any shape change.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"violations\": [\n");
+        let mut s = String::from("{\n  \"schema_version\": 1,\n  \"tool\": \"simlint\",\n");
+        s.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        s.push_str("  \"findings\": [\n");
         for (i, v) in self.violations.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"span\": [{}, {}], \
+                 \"severity\": \"{}\", \"baseline_status\": \"{}\", \"message\": \"{}\"}}{}\n",
                 json_escape(v.rule),
                 json_escape(&v.file),
                 v.line,
+                v.col,
+                v.end_col,
+                rule_severity(v.rule).as_str(),
+                v.status.as_str(),
                 json_escape(&v.message),
                 if i + 1 < self.violations.len() {
                     ","
@@ -44,10 +79,24 @@ impl Report {
                 }
             ));
         }
+        s.push_str("  ],\n  \"stale_baseline_entries\": [\n");
+        for (i, e) in self.stale.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"recorded\": {}, \"actual\": {}}}{}\n",
+                json_escape(&e.rule),
+                json_escape(&e.path),
+                e.recorded,
+                e.actual,
+                if i + 1 < self.stale.len() { "," } else { "" }
+            ));
+        }
+        let new = self.new_findings().count();
         s.push_str(&format!(
-            "  ],\n  \"files_checked\": {},\n  \"count\": {}\n}}",
-            self.files_checked,
-            self.violations.len()
+            "  ],\n  \"totals\": {{\"findings\": {}, \"new\": {}, \"baselined\": {}, \"stale\": {}}}\n}}",
+            self.violations.len(),
+            new,
+            self.violations.len() - new,
+            self.stale.len()
         ));
         s
     }
@@ -68,12 +117,14 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Discover the workspace's own Rust sources: `crates/*/`, root `src/`, and
-/// root `tests/`. `vendor/` (offline stand-ins) and `target/` are excluded.
-/// Sorted for deterministic reports.
+/// Discover the workspace's own Rust sources: `crates/*/` (src, tests,
+/// benches, examples), root `src/`, `tests/`, and `examples/`. `vendor/`
+/// (offline stand-ins), `target/`, and `fixtures/` directories (crafted
+/// rule-violation samples for simlint's own tests) are excluded. Sorted
+/// for deterministic reports.
 pub fn workspace_source_files(root: &Path) -> Vec<PathBuf> {
     let mut files = BTreeSet::new();
-    for top in ["crates", "src", "tests"] {
+    for top in ["crates", "src", "tests", "examples", "benches"] {
         collect_rs(&root.join(top), &mut files);
     }
     files.into_iter().collect()
@@ -87,7 +138,7 @@ fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) {
         let path = entry.path();
         if path.is_dir() {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if name == "target" || name == "vendor" {
+            if name == "target" || name == "vendor" || name == "fixtures" {
                 continue;
             }
             collect_rs(&path, out);
@@ -108,8 +159,14 @@ fn is_crate_root(rel: &str) -> bool {
             && p.matches('/').count() == 3)
 }
 
-/// Lint the given files (absolute or root-relative paths).
+/// Lint the given files (absolute or root-relative paths) with no
+/// baseline: every finding is `New`.
 pub fn run(root: &Path, paths: &[PathBuf]) -> Report {
+    run_with_baseline(root, paths, &Baseline::default())
+}
+
+/// Lint the given files and mark findings against `baseline`.
+pub fn run_with_baseline(root: &Path, paths: &[PathBuf], baseline: &Baseline) -> Report {
     let mut report = Report::default();
     for path in paths {
         let abs = if path.is_absolute() {
@@ -127,23 +184,33 @@ pub fn run(root: &Path, paths: &[PathBuf]) -> Report {
                 rule: "io",
                 file: rel.clone(),
                 line: 0,
+                col: 0,
+                end_col: 0,
                 message: "could not read file".to_string(),
+                status: BaselineStatus::New,
             });
             continue;
         };
         report.files_checked += 1;
-        let view = lexer::scan(&text);
-        report.violations.extend(rules::check_file(&rel, &view));
-        if is_crate_root(&rel) {
-            report
-                .violations
-                .extend(rules::check_crate_root(&rel, &view));
-        }
+        report.violations.extend(lint_text(&rel, &text));
     }
     report
         .violations
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.stale = baseline::apply(&mut report.violations, baseline);
     report
+}
+
+/// Lint one file's text under a workspace-relative label. Public so the
+/// golden-file test can lint a fixture as if it lived in a sim crate.
+pub fn lint_text(rel_path: &str, text: &str) -> Vec<Violation> {
+    let view = lexer::scan(text);
+    let raw = rules::check_file(rel_path, &view);
+    let mut out = rules::finalize(rel_path, &view, raw);
+    if is_crate_root(rel_path) {
+        out.extend(rules::check_crate_root(rel_path, &view));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -161,7 +228,7 @@ mod tests {
     }
 
     #[test]
-    fn json_output_is_well_formed_enough() {
+    fn json_output_is_schema_v1() {
         let mut r = Report {
             files_checked: 1,
             ..Default::default()
@@ -170,10 +237,19 @@ mod tests {
             rule: "unwrap",
             file: "a\"b.rs".to_string(),
             line: 3,
+            col: 4,
+            end_col: 10,
             message: "x".to_string(),
+            status: BaselineStatus::New,
         });
         let j = r.to_json();
-        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"span\": [4, 10]"));
+        assert!(j.contains("\"severity\": \"deny\""));
+        assert!(j.contains("\"baseline_status\": \"new\""));
+        assert!(
+            j.contains("\"totals\": {\"findings\": 1, \"new\": 1, \"baselined\": 0, \"stale\": 0}")
+        );
         assert!(j.contains("a\\\"b.rs"));
     }
 
@@ -186,5 +262,29 @@ mod tests {
         assert_eq!(r.files_checked, 0);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].rule, "io");
+        assert!(r.failed());
+    }
+
+    #[test]
+    fn failed_accounts_for_baseline_and_stale_entries() {
+        let mut r = Report::default();
+        assert!(!r.failed());
+        r.violations.push(Violation {
+            rule: "panic-surface",
+            file: "a.rs".to_string(),
+            line: 1,
+            col: 0,
+            end_col: 0,
+            message: String::new(),
+            status: BaselineStatus::Baselined,
+        });
+        assert!(!r.failed(), "baselined findings alone do not fail");
+        r.stale.push(StaleEntry {
+            rule: "panic-surface".to_string(),
+            path: "a.rs".to_string(),
+            recorded: 2,
+            actual: 1,
+        });
+        assert!(r.failed(), "stale baseline entries fail");
     }
 }

@@ -1,55 +1,106 @@
-//! Workspace automation binary (`cargo run -p xtask -- <command>`).
+//! Workspace automation binary (`cargo xtask <command>`, via the alias in
+//! `.cargo/config.toml`, or `cargo run -p xtask -- <command>`).
 //!
 //! Commands:
 //!
-//! * `lint [--json] [paths...]` — run the simlint determinism & invariant
+//! * `simlint` (alias `lint`) — run the token-level determinism & invariant
 //!   analysis pass over the workspace sources (or over explicit paths).
-//!   Exits 0 when clean, 1 when violations are found, 2 on usage errors.
+//!
+//!   * `--json` — emit the stable schema-v1 JSON report.
+//!   * `--baseline <path>` — compare ratcheted rules (panic-surface,
+//!     truncating-cast) against the checked-in baseline; only *new*
+//!     findings and *stale* baseline entries fail.
+//!   * `--update-baseline <path>` — rewrite the baseline to pin exactly
+//!     the current ratcheted findings (use only to shrink it).
+//!   * `--explain <rule>` — print a rule's rationale and canonical fix.
+//!
+//!   Exits 0 when clean, 1 on new findings or stale baseline entries,
+//!   2 on usage errors.
 
 #![forbid(unsafe_code)]
 
-mod lexer;
-mod lint;
-mod rules;
-
 use std::process::ExitCode;
+
+use xtask::baseline::Baseline;
+use xtask::{lint, rules};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint_command(&args[1..]),
+        Some("simlint") | Some("lint") => lint_command(&args[1..]),
         Some(other) => {
             eprintln!("xtask: unknown command `{other}`");
-            eprintln!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+            usage();
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+            usage();
             ExitCode::from(2)
         }
     }
 }
 
+fn usage() {
+    eprintln!(
+        "usage: cargo xtask simlint [--json] [--baseline <path>] [--update-baseline <path>] \
+         [--explain <rule>] [paths...]"
+    );
+}
+
 fn lint_command(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut update_path: Option<std::path::PathBuf> = None;
     let mut paths: Vec<std::path::PathBuf> = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.into()),
+                None => {
+                    eprintln!("xtask simlint: --baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => match it.next() {
+                Some(p) => update_path = Some(p.into()),
+                None => {
+                    eprintln!("xtask simlint: --update-baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--explain" => {
+                return match it.next() {
+                    Some(rule) => explain(rule),
+                    None => {
+                        eprintln!(
+                            "xtask simlint: --explain needs a rule id (one of: {})",
+                            rule_ids().join(", ")
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: cargo run -p xtask -- lint [--json] [paths...]");
+                usage();
                 println!();
-                println!("Rules:");
+                println!("Rules ([ratchet] = compared against the checked-in baseline):");
                 for rule in rules::RULES {
-                    println!("  {:<16} {}", rule.id, rule.summary);
+                    let tag = match rule.severity {
+                        rules::Severity::Deny => "",
+                        rules::Severity::Ratchet => " [ratchet]",
+                    };
+                    println!("  {:<16}{tag} {}", rule.id, rule.summary);
                 }
                 println!();
                 println!("Suppress a finding on its line (or the line above) with:");
                 println!("  // simlint: allow(<rule>, reason = \"...\")");
+                println!("Details: cargo xtask simlint --explain <rule>");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
-                eprintln!("xtask lint: unknown flag `{flag}`");
+                eprintln!("xtask simlint: unknown flag `{flag}`");
                 return ExitCode::from(2);
             }
             p => paths.push(p.into()),
@@ -59,7 +110,9 @@ fn lint_command(args: &[String]) -> ExitCode {
     let root = match workspace_root() {
         Some(r) => r,
         None => {
-            eprintln!("xtask lint: could not locate workspace root (no Cargo.toml with [workspace] found)");
+            eprintln!(
+                "xtask simlint: could not locate workspace root (no Cargo.toml with [workspace] found)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -67,23 +120,88 @@ fn lint_command(args: &[String]) -> ExitCode {
         paths = lint::workspace_source_files(&root);
     }
 
-    let report = lint::run(&root, &paths);
+    let baseline = match &baseline_path {
+        Some(p) => match Baseline::load(&root.join(p)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask simlint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::default(),
+    };
+
+    let report = lint::run_with_baseline(&root, &paths, &baseline);
+
+    if let Some(p) = update_path {
+        let b = Baseline::from_findings(&report.violations);
+        let abs = root.join(&p);
+        if let Err(e) = std::fs::write(&abs, b.to_json()) {
+            eprintln!("xtask simlint: cannot write {}: {e}", abs.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "simlint: wrote {} entries to {}",
+            b.entries.len(),
+            p.display()
+        );
+    }
+
     if json {
         println!("{}", report.to_json());
     } else {
         for v in &report.violations {
             println!("{}", v.display(&root));
         }
+        for e in &report.stale {
+            println!(
+                "{}: [stale-baseline] {} records {} finding(s) but the code produces {}; \
+                 shrink the baseline (see DESIGN.md)",
+                e.path, e.rule, e.recorded, e.actual
+            );
+        }
+        let new = report.new_findings().count();
         println!(
-            "simlint: {} file(s) checked, {} violation(s)",
+            "simlint: {} file(s) checked, {} finding(s) ({} new, {} baselined), {} stale baseline entr{}",
             report.files_checked,
-            report.violations.len()
+            report.violations.len(),
+            new,
+            report.violations.len() - new,
+            report.stale.len(),
+            if report.stale.len() == 1 { "y" } else { "ies" }
         );
     }
-    if report.violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if report.failed() {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn rule_ids() -> Vec<&'static str> {
+    rules::RULES.iter().map(|r| r.id).collect()
+}
+
+fn explain(rule_id: &str) -> ExitCode {
+    match rules::rule_info(rule_id) {
+        Some(r) => {
+            println!("{} [{}]", r.id, r.severity.as_str());
+            println!("  {}", r.summary);
+            println!();
+            println!("Why:");
+            println!("  {}", r.rationale);
+            println!();
+            println!("Fix:");
+            println!("  {}", r.fix);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "xtask simlint: unknown rule `{rule_id}` (one of: {})",
+                rule_ids().join(", ")
+            );
+            ExitCode::from(2)
+        }
     }
 }
 

@@ -1,0 +1,31 @@
+//! simlint golden-test fixture: one deliberate violation per rule family.
+//!
+//! This file is NEVER compiled — `fixtures/` directories are excluded from
+//! workspace lint discovery and cargo does not build test subdirectories.
+//! `tests/golden.rs` lints this text under the label
+//! `crates/netsim/src/sample.rs` so sim-crate scoping applies, and compares
+//! the JSON report byte-for-byte against `golden.json`.
+
+use std::collections::HashMap; // hash-iter
+use std::time::Instant; // wall-clock
+
+fn sample(horizon_s: f64, window_bytes: f64, v: &[f64], n: u64) -> f64 {
+    let _t = Instant::now(); // wall-clock
+    let mix = horizon_s + window_bytes; // unit-mixing
+    let narrowed = n as u32; // truncating-cast
+    let first = v[0]; // panic-surface: indexing
+    let ratio = n / narrowed as u64; // panic-surface: non-constant divisor
+    if first == 0.0 {
+        // float-eq
+        panic!("zero"); // panic-surface: abort macro
+    }
+    let mut t = 0.0;
+    while t < horizon_s {
+        t += 0.1; // float-accum
+    }
+    let _ = v.first().unwrap(); // unwrap
+    let _ = v.last().unwrap(); // simlint: allow(unwrap, reason = "demonstrates a live pragma")
+    std::thread::spawn(|| {}); // thread
+    let _stale = mix; // simlint: allow(unwrap, reason = "nothing fires here") -> dead-pragma
+    ratio as f64
+}

@@ -1,0 +1,86 @@
+//! Golden-file test pinning the `simlint --json` schema (v1).
+//!
+//! The fixture (`fixtures/sample.rs`) carries one deliberate violation per
+//! rule family. It is linted under a sim-crate label so full scoping
+//! applies, compared against a small baseline so all three baseline
+//! states (deny/new, ratchet/baselined, ratchet/new) appear, and the JSON
+//! report must match `fixtures/golden.json` byte-for-byte. A mismatch
+//! means the CI contract drifted: either fix the regression or, for a
+//! deliberate schema change, bump `schema_version` and regenerate the
+//! golden file from the test's failure output.
+
+use xtask::baseline::Baseline;
+use xtask::lint::{lint_text, Report};
+
+const FIXTURE: &str = include_str!("fixtures/sample.rs");
+const GOLDEN: &str = include_str!("fixtures/golden.json");
+
+/// The label under which the fixture is linted: a sim crate source, so
+/// determinism, quantity, and panic rules all apply.
+const LABEL: &str = "crates/netsim/src/sample.rs";
+
+fn fixture_report() -> Report {
+    let mut report = Report {
+        violations: lint_text(LABEL, FIXTURE),
+        stale: Vec::new(),
+        files_checked: 1,
+    };
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    // Baseline pinning 2 of the 3 panic-surface findings plus a vanished
+    // entry: exercises baselined, over-budget (new), and stale states.
+    let mut baseline = Baseline::default();
+    baseline
+        .entries
+        .insert(("panic-surface".to_string(), LABEL.to_string()), 2);
+    baseline.entries.insert(
+        ("truncating-cast".to_string(), "crates/gone.rs".to_string()),
+        1,
+    );
+    report.stale = xtask::baseline::apply(&mut report.violations, &baseline);
+    report
+}
+
+#[test]
+fn json_report_matches_golden_file() {
+    let actual = fixture_report().to_json();
+    assert_eq!(
+        actual.trim(),
+        GOLDEN.trim(),
+        "simlint --json drifted from the golden file.\n--- actual ---\n{actual}\n--- end ---\n\
+         If the change is deliberate, update fixtures/golden.json (and bump \
+         schema_version for shape changes)."
+    );
+}
+
+#[test]
+fn fixture_trips_every_rule_family() {
+    let report = fixture_report();
+    let fired: std::collections::BTreeSet<&str> =
+        report.violations.iter().map(|v| v.rule).collect();
+    for rule in [
+        "wall-clock",
+        "hash-iter",
+        "float-eq",
+        "unwrap",
+        "thread",
+        "unit-mixing",
+        "truncating-cast",
+        "float-accum",
+        "panic-surface",
+        "dead-pragma",
+    ] {
+        assert!(fired.contains(rule), "fixture does not trip `{rule}`");
+    }
+    assert!(report.failed());
+    // The live pragma suppressed the second unwrap entirely.
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "unwrap")
+            .count(),
+        1
+    );
+}
