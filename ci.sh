@@ -17,8 +17,11 @@ cargo run -p xtask --offline --quiet -- simlint --baseline results/simlint_basel
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> engine differential tests (timing wheel vs reference heap)"
+cargo test --offline -q -p overlap-core --features ref-heap --test engine_diff
+
 echo "==> sweep-runner smoke test (release, serial vs pooled must match)"
-cargo build --release --offline -q -p bench
+cargo build --release --offline -q -p bench --features ref-heap
 OVERLAP_WORKERS=1 ./target/release/table1_results 3 2 2>/dev/null >/tmp/sweep_serial.txt
 OVERLAP_WORKERS=4 ./target/release/table1_results 3 2 2>/dev/null >/tmp/sweep_pooled.txt
 cmp /tmp/sweep_serial.txt /tmp/sweep_pooled.txt || {
@@ -30,6 +33,12 @@ rm -f /tmp/sweep_serial.txt /tmp/sweep_pooled.txt
 echo "==> perf snapshot (events/sec, packets/sec, lint lines/sec, peak RSS)"
 ./target/release/perf_snapshot > BENCH_simlint.json
 cat BENCH_simlint.json
+
+echo "==> simulator scenario-suite benchmark (wheel vs reference heap, gated)"
+# Fails if any scenario's heap and wheel trace hashes differ, or if the
+# wheel is slower than the heap (events/sec) on any scenario.
+./target/release/bench_sim --gate > BENCH_sim.json
+cat BENCH_sim.json
 
 echo "==> fluid-model smoke (paper topology, all laws)"
 ./target/release/fluid_table --smoke

@@ -68,7 +68,7 @@ pub use runner::{
     parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
     SweepSpec, TopologySpec,
 };
-pub use scenario::{CrossTraffic, RunResult, Scenario};
+pub use scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
 
 /// The most frequently used types, re-exported for glob import.
 pub mod prelude {
@@ -89,7 +89,7 @@ pub mod prelude {
         parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
         SweepSpec, TopologySpec,
     };
-    pub use crate::scenario::{CrossTraffic, RunResult, Scenario};
+    pub use crate::scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
     pub use fluidsim::{
         solve, FluidConfig, FluidLaw, FluidModel, FluidOutcome, FluidParams, FluidRun,
     };

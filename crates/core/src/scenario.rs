@@ -58,6 +58,21 @@ pub struct Scenario {
     /// topology). Installed into the simulator's event queue, so a faulted
     /// run is exactly as deterministic as an unfaulted one.
     pub faults: FaultSchedule,
+    /// Event-queue backend. Results are engine-independent by contract
+    /// (trace hashes must match; see `engine_diff` tests and `bench_sim`).
+    pub engine: QueueEngine,
+}
+
+/// Which event-queue backend executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueEngine {
+    /// The hierarchical timing wheel — the production engine.
+    #[default]
+    Wheel,
+    /// The original binary-heap reference, kept for differential testing
+    /// and benchmarking (needs the `ref-heap` cargo feature).
+    #[cfg(feature = "ref-heap")]
+    RefHeap,
 }
 
 /// A constant-bit-rate background flow between two agent-free nodes.
@@ -94,6 +109,7 @@ impl Scenario {
             forward_jitter: SimDuration::from_micros(20),
             background: Vec::new(),
             faults: FaultSchedule::new(),
+            engine: QueueEngine::default(),
         }
     }
 
@@ -170,6 +186,11 @@ impl Scenario {
         };
 
         let mut sim = Simulator::new(self.topology.clone(), routing, self.seed);
+        match self.engine {
+            QueueEngine::Wheel => {}
+            #[cfg(feature = "ref-heap")]
+            QueueEngine::RefHeap => sim.use_reference_heap(),
+        }
         sim.set_capture(CaptureConfig::receiver_side(dst));
         sim.set_forward_jitter(self.forward_jitter);
         sim.install_faults(&self.faults);
@@ -314,6 +335,8 @@ impl Scenario {
             per_path_steady_mbps,
             drops: sim.stats().packets_dropped,
             events: sim.stats().events,
+            events_scheduled: sim.events_scheduled(),
+            events_cancelled: sim.events_cancelled(),
             packets_delivered: sim.stats().packets_delivered,
             data_delivered: receiver.data_delivered(),
             duplicate_bytes: receiver.stats().duplicate_bytes,
@@ -340,6 +363,12 @@ pub struct RunResult {
     pub drops: u64,
     /// Simulator events processed.
     pub events: u64,
+    /// Events scheduled and not cancelled (the live share).
+    pub events_scheduled: u64,
+    /// Events cancelled before firing — the dead events lazy timer guards
+    /// would otherwise have popped and discarded. The dead-event fraction
+    /// is `events_cancelled / (events_scheduled + events_cancelled)`.
+    pub events_cancelled: u64,
     /// Packets delivered to any sink across the network (wire-level, all
     /// agents and cross traffic; the perf snapshot derives packets/sec
     /// from this).

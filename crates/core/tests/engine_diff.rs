@@ -1,0 +1,113 @@
+//! Differential tests: the timing-wheel event queue against the reference
+//! binary heap.
+//!
+//! The determinism bar for the wheel engine is observational identity —
+//! every scenario must produce a byte-identical trace hash, event count,
+//! and per-path series regardless of which queue backend orders the
+//! events, and regardless of worker count. Compile with
+//! `--features ref-heap`:
+//!
+//! ```text
+//! cargo test -p overlap-core --features ref-heap --test engine_diff
+//! ```
+#![cfg(feature = "ref-heap")]
+
+use overlap_core::prelude::*;
+use overlap_core::{
+    compare_runs, failover_scenario, run_scenarios, FailoverConfig, FailoverSetup, QueueEngine,
+    RunnerConfig,
+};
+
+/// The paper scenario with pinned timing, parameterized by engine.
+fn paper(algo: CcAlgo, seed: u64, engine: QueueEngine) -> Scenario {
+    let net = PaperNetwork::new();
+    let mut sc = Scenario {
+        default_path: net.default_path,
+        ..Scenario::new(net.topology, net.paths)
+    }
+    .with_algo(algo)
+    .with_seed(seed)
+    .with_timing(SimDuration::from_secs(4), SimDuration::from_millis(100));
+    sc.engine = engine;
+    sc
+}
+
+/// Heap and wheel runs of the same scenario must be observationally
+/// identical: same trace hash, same counts, same binned series.
+fn assert_engines_agree(mut build: impl FnMut(QueueEngine) -> Scenario) {
+    let wheel = build(QueueEngine::Wheel).run();
+    let heap = build(QueueEngine::RefHeap).run();
+    let report = compare_runs(&wheel, &heap);
+    assert!(
+        report.is_deterministic(),
+        "wheel and heap diverged: {}",
+        report.mismatches().join("; ")
+    );
+    assert_eq!(wheel.trace_hash, heap.trace_hash, "trace hash mismatch");
+    assert_eq!(wheel.events, heap.events, "event count mismatch");
+}
+
+#[test]
+fn all_five_algorithms_are_engine_independent() {
+    for algo in [
+        CcAlgo::Cubic,
+        CcAlgo::Lia,
+        CcAlgo::Olia,
+        CcAlgo::Balia,
+        CcAlgo::WVegas,
+    ] {
+        assert_engines_agree(|engine| paper(algo, 1, engine));
+    }
+}
+
+#[test]
+fn distinct_seeds_stay_engine_independent() {
+    for seed in 2..5 {
+        assert_engines_agree(|engine| paper(CcAlgo::Lia, seed, engine));
+    }
+}
+
+#[test]
+fn faulted_failover_is_engine_independent() {
+    // A link outage exercises fault events, queue drops, RTO storms, and
+    // reinjection — the densest cancellation traffic in the suite.
+    for algo in [CcAlgo::Cubic, CcAlgo::Lia] {
+        assert_engines_agree(|engine| {
+            let mut sc =
+                failover_scenario(&FailoverSetup::paper(), algo, 1, &FailoverConfig::default());
+            sc.engine = engine;
+            sc
+        });
+    }
+}
+
+#[test]
+fn parallel_heap_matches_serial_wheel() {
+    // Cross both axes at once: N-worker execution of heap-engine
+    // scenarios must reproduce 1-worker wheel-engine results exactly.
+    let algos = [CcAlgo::Cubic, CcAlgo::Lia, CcAlgo::WVegas];
+    let wheel: Vec<Scenario> = algos
+        .iter()
+        .map(|&a| paper(a, 1, QueueEngine::Wheel))
+        .collect();
+    let heap: Vec<Scenario> = algos
+        .iter()
+        .map(|&a| paper(a, 1, QueueEngine::RefHeap))
+        .collect();
+    let serial_wheel = run_scenarios(&wheel, &RunnerConfig::serial());
+    let parallel_heap = run_scenarios(
+        &heap,
+        &RunnerConfig {
+            workers: 4,
+            progress: false,
+        },
+    );
+    for (algo, (a, b)) in algos.iter().zip(serial_wheel.iter().zip(&parallel_heap)) {
+        let report = compare_runs(a, b);
+        assert!(
+            report.is_deterministic(),
+            "{algo:?}: serial wheel vs 4-worker heap diverged: {}",
+            report.mismatches().join("; ")
+        );
+    }
+}

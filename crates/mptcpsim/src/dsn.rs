@@ -43,9 +43,11 @@ impl IntervalSet {
     /// Insert `[start, end)`. Returns the number of *new* bytes this
     /// insertion contributed (0 for a pure duplicate).
     pub fn insert(&mut self, start: u64, end: u64) -> u64 {
-        assert!(start <= end, "inverted interval");
-        if end <= self.next {
-            return 0; // entirely old
+        debug_assert!(start <= end, "inverted interval");
+        // Empty (or inverted) intervals contribute nothing; rejecting them
+        // here also keeps empty ranges out of the out-of-order map.
+        if end <= start || end <= self.next {
+            return 0; // empty or entirely old
         }
         #[cfg(feature = "check")]
         let prev_next = self.next;
@@ -192,8 +194,9 @@ impl MappingTable {
         let mut out = Vec::with_capacity(1);
         let mut cur = offset;
         let end = offset + len as u64;
+        let live = self.maps.get(self.low..).unwrap_or(&[]);
         // Binary search for the mapping containing `cur`.
-        let mut idx = match self.maps[self.low..].binary_search_by(|m| {
+        let mut idx = match live.binary_search_by(|m| {
             if m.subflow_end() <= cur {
                 std::cmp::Ordering::Less
             } else if m.subflow_start > cur {
@@ -213,7 +216,11 @@ impl MappingTable {
             debug_assert!(m.subflow_start <= cur && cur < m.subflow_end());
             let piece_end = end.min(m.subflow_end());
             let dsn = m.dsn_start + (cur - m.subflow_start);
-            out.push((dsn, (piece_end - cur) as u32));
+            // `piece_end - cur <= len` (piece_end <= offset + len and
+            // cur >= offset), so the conversion cannot actually truncate;
+            // the fallback clamps to the full requested length.
+            let piece_len = u32::try_from(piece_end - cur).unwrap_or(len);
+            out.push((dsn, piece_len));
             cur = piece_end;
             idx += 1;
         }
@@ -223,8 +230,10 @@ impl MappingTable {
     /// Drop mappings entirely below `acked_subflow_offset` (no longer
     /// needed for retransmission).
     pub fn prune(&mut self, acked_subflow_offset: u64) {
-        while self.low < self.maps.len()
-            && self.maps[self.low].subflow_end() <= acked_subflow_offset
+        while self
+            .maps
+            .get(self.low)
+            .is_some_and(|m| m.subflow_end() <= acked_subflow_offset)
         {
             self.low += 1;
         }
@@ -244,20 +253,24 @@ impl MappingTable {
     /// above `offset` — the data a failed subflow still owes the
     /// connection, used by failover reinjection.
     pub fn live_after(&self, offset: u64) -> impl Iterator<Item = Mapping> + '_ {
-        self.maps[self.low..].iter().filter_map(move |m| {
-            if m.subflow_end() <= offset {
-                None
-            } else if m.subflow_start >= offset {
-                Some(*m)
-            } else {
-                let skip = offset - m.subflow_start;
-                Some(Mapping {
-                    subflow_start: offset,
-                    dsn_start: m.dsn_start + skip,
-                    len: m.len - skip,
-                })
-            }
-        })
+        self.maps
+            .get(self.low..)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |m| {
+                if m.subflow_end() <= offset {
+                    None
+                } else if m.subflow_start >= offset {
+                    Some(*m)
+                } else {
+                    let skip = offset - m.subflow_start;
+                    Some(Mapping {
+                        subflow_start: offset,
+                        dsn_start: m.dsn_start + skip,
+                        len: m.len - skip,
+                    })
+                }
+            })
     }
 }
 
@@ -295,6 +308,20 @@ mod tests {
         s.insert(200, 300);
         assert_eq!(s.insert(200, 300), 0);
         assert_eq!(s.insert(250, 280), 0);
+    }
+
+    #[test]
+    fn interval_empty_insert_is_a_noop() {
+        // Regression: an empty interval above the delivered prefix used to
+        // be stored as an empty out-of-order range, corrupting the set
+        // (caught by the `check` feature's invariants).
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert(5, 5), 0);
+        assert_eq!(s.pending_ranges(), 0);
+        assert_eq!(s.next_expected(), 0);
+        // And a later real insertion around that point behaves normally.
+        assert_eq!(s.insert(0, 10), 10);
+        assert_eq!(s.next_expected(), 10);
     }
 
     #[test]

@@ -174,12 +174,15 @@ pub fn install_subflows(
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let tag = Tag(base_tag + i as u16);
+            // Subflow counts are tiny (the paper uses at most a handful);
+            // saturating keeps the conversion total.
+            let i = u16::try_from(i).unwrap_or(u16::MAX);
+            let tag = Tag(base_tag + i);
             routing.install_path(p, tag);
             crate::sender_agent::SubflowConfig {
                 tag,
-                src_port: base_port + i as u16,
-                dst_port: base_port + 1000 + i as u16,
+                src_port: base_port + i,
+                dst_port: base_port + 1000 + i,
             }
         })
         .collect()

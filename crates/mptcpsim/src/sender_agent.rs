@@ -131,7 +131,9 @@ struct Sub {
     sender: TcpSender,
     maps: MappingTable,
     flow_hash: u64,
-    /// Earliest armed timer (avoid event-queue flooding).
+    /// Memo of the armed RTO deadline. Re-arming a token replaces the
+    /// pending event in the queue, so this only skips redundant re-arms
+    /// when the engine's deadline has not moved.
     armed: Option<SimTime>,
     /// Has the subflow joined the connection yet?
     active: bool,
@@ -313,11 +315,16 @@ impl MptcpSenderAgent {
                 for (dsn, piece_len) in pieces {
                     let mut seg = tx.seg.clone();
                     seg.seq = tx.seg.seq.wrapping_add(done);
+                    // The wire subflow sequence wraps modulo 2^32 like any
+                    // TCP sequence number (the mask makes that explicit);
+                    // piece lengths never exceed the MSS, so the u16
+                    // conversion cannot truncate.
+                    let sseq = (tx.offset + u64::from(done)) & u64::from(u32::MAX);
                     seg.dss = Some(DssOption {
                         data_ack: None,
                         dsn: Some(dsn),
-                        subflow_seq: (tx.offset + done as u64) as u32,
-                        data_len: piece_len as u16,
+                        subflow_seq: u32::try_from(sseq).unwrap_or(u32::MAX),
+                        data_len: u16::try_from(piece_len).unwrap_or(u16::MAX),
                     });
                     ctx.send_ecn(
                         self.cfg.dst,
@@ -393,11 +400,22 @@ impl MptcpSenderAgent {
 
     fn rearm(&mut self, ctx: &mut Ctx<'_>) {
         for (i, sub) in self.subs.iter_mut().enumerate() {
-            if let Some(t) = sub.sender.next_timer() {
-                let fire_at = t.max(ctx.now());
-                if sub.armed.is_none_or(|a| fire_at < a || a <= ctx.now()) {
-                    ctx.set_timer_at(fire_at, i as u64);
-                    sub.armed = Some(fire_at);
+            match sub.sender.next_timer() {
+                Some(t) => {
+                    let fire_at = t.max(ctx.now());
+                    // Replacement semantics: the queue's pending deadline
+                    // for this token always tracks the engine exactly (a
+                    // deadline moved *later* by fast retransmit or SACK
+                    // recovery is replaced too, never left to fire stale).
+                    if sub.armed != Some(fire_at) {
+                        ctx.set_timer_at(fire_at, i as u64);
+                        sub.armed = Some(fire_at);
+                    }
+                }
+                None => {
+                    if sub.armed.take().is_some() {
+                        ctx.cancel_timer(i as u64);
+                    }
                 }
             }
         }
@@ -495,21 +513,27 @@ impl Agent for MptcpSenderAgent {
         }
         if token >= TOKEN_JOIN_BASE {
             let i = (token - TOKEN_JOIN_BASE) as usize;
-            if i < self.subs.len() {
-                self.subs[i].active = true;
+            if let Some(sub) = self.subs.get_mut(i) {
+                sub.active = true;
                 self.pump(ctx);
             }
             return;
         }
         let i = token as usize;
-        if i < self.subs.len() {
-            self.subs[i].armed = None;
-            self.subs[i].sender.on_timer(ctx.now());
+        let n_subs = self.subs.len();
+        if let Some(sub) = self.subs.get_mut(i) {
+            // A fire must match the armed deadline exactly: re-arming
+            // replaces the queued event, so a superseded (stale) deadline
+            // can never reach this point.
+            debug_assert_eq!(
+                sub.armed,
+                Some(ctx.now()),
+                "subflow RTO fired at a stale deadline"
+            );
+            sub.armed = None;
+            sub.sender.on_timer(ctx.now());
             let threshold = self.cfg.reinject_after_backoffs;
-            if threshold > 0
-                && self.subs.len() > 1
-                && self.subs[i].sender.rtt().backoff() >= threshold
-            {
+            if threshold > 0 && n_subs > 1 && sub.sender.rtt().backoff() >= threshold {
                 self.fail_and_reinject(i);
             }
             self.pump(ctx);

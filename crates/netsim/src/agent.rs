@@ -9,7 +9,7 @@
 //! inspect what it asked for).
 
 use crate::packet::{Ecn, NodeId, Packet, Protocol, Tag};
-use bytes::Bytes;
+use crate::payload::Payload;
 use simbase::{EventLog, SimDuration, SimTime, Xoshiro256StarStar};
 use std::fmt;
 
@@ -34,9 +34,12 @@ pub trait Agent {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet);
 
     /// A timer armed via [`Ctx::set_timer_after`] fired. Timers are
-    /// one-shot and not cancellable; agents that re-arm timers must treat
-    /// stale firings as no-ops (the sans-IO engines make this natural:
-    /// on any timer, poll the engine against its *current* deadline).
+    /// one-shot, keyed by `(agent, token)`: at most one deadline is pending
+    /// per token. Re-arming a token *replaces* the pending deadline (the
+    /// old event is cancelled in the queue, never fired), and
+    /// [`Ctx::cancel_timer`] revokes it outright — so a stale deadline can
+    /// never fire. Engines should still poll against their current
+    /// deadline on any timer; that keeps them testable standalone.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
 
     /// Diagnostic name used in logs.
@@ -55,11 +58,17 @@ pub trait Agent {
 pub enum Effect {
     /// Inject a packet into the network at the agent's node.
     Send(Packet),
-    /// Arm a one-shot timer.
+    /// Arm a one-shot timer. Replaces any pending timer with the same
+    /// token for this agent (the replaced event is cancelled, not fired).
     SetTimer {
         /// Absolute expiry time.
         at: SimTime,
         /// Token returned to the agent on expiry.
+        token: u64,
+    },
+    /// Cancel the pending timer with this token, if any.
+    CancelTimer {
+        /// The token the timer was armed with.
         token: u64,
     },
 }
@@ -123,7 +132,7 @@ impl<'a> Ctx<'a> {
         dst: NodeId,
         tag: Tag,
         protocol: Protocol,
-        payload: Bytes,
+        payload: Payload,
         data_len: u32,
         flow_hash: u64,
     ) -> u64 {
@@ -146,7 +155,7 @@ impl<'a> Ctx<'a> {
         dst: NodeId,
         tag: Tag,
         protocol: Protocol,
-        payload: Bytes,
+        payload: Payload,
         data_len: u32,
         flow_hash: u64,
         ecn: Ecn,
@@ -180,6 +189,12 @@ impl<'a> Ctx<'a> {
         assert!(at >= self.now, "timer in the past: {at} < {}", self.now);
         self.effects.push(Effect::SetTimer { at, token });
     }
+
+    /// Cancel this agent's pending timer with `token`, if one is armed.
+    /// A no-op when nothing is pending for the token.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.effects.push(Effect::CancelTimer { token });
+    }
 }
 
 #[cfg(test)]
@@ -210,8 +225,8 @@ mod tests {
     #[test]
     fn send_assigns_sequential_ids() {
         let ((id1, id2), effects, next) = with_ctx(|ctx| {
-            let a = ctx.send(NodeId(9), Tag(1), Protocol::Raw, Bytes::new(), 100, 0);
-            let b = ctx.send(NodeId(9), Tag(1), Protocol::Raw, Bytes::new(), 100, 0);
+            let a = ctx.send(NodeId(9), Tag(1), Protocol::Raw, Payload::empty(), 100, 0);
+            let b = ctx.send(NodeId(9), Tag(1), Protocol::Raw, Payload::empty(), 100, 0);
             (a, b)
         });
         assert_eq!(id1, 7);

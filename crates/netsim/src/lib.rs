@@ -29,6 +29,7 @@ pub mod capture;
 pub mod faults;
 pub mod packet;
 pub mod paths;
+pub mod payload;
 pub mod queue;
 pub mod routing;
 pub mod sim;
@@ -43,6 +44,7 @@ pub use packet::{Dir, Ecn, LinkId, NodeId, Packet, PacketMeta, Protocol, Tag, IP
 pub use paths::{
     all_simple_paths, k_shortest_paths, shortest_path, Path, PathError, SharingAnalysis,
 };
+pub use payload::{Payload, PayloadWriter, INLINE_CAP};
 pub use queue::{
     CoDel, CoDelConfig, Dequeued, DropReason, DropTail, EnqueueResult, Queue, QueueConfig, Red,
     RedConfig,
@@ -56,7 +58,6 @@ pub use traffic::{CbrSource, DatagramSink, OnOffSource};
 #[cfg(test)]
 mod sim_tests {
     use super::*;
-    use bytes::Bytes;
     use simbase::{Bandwidth, SimDuration, SimTime};
 
     /// An agent that sends `count` raw packets of `data_len` bytes to `dst`
@@ -79,7 +80,7 @@ mod sim_tests {
                             self.dst,
                             self.tag,
                             Protocol::Raw,
-                            Bytes::new(),
+                            Payload::empty(),
                             self.data_len,
                             1,
                         );
@@ -91,7 +92,7 @@ mod sim_tests {
                         self.dst,
                         self.tag,
                         Protocol::Raw,
-                        Bytes::new(),
+                        Payload::empty(),
                         self.data_len,
                         1,
                     );
@@ -110,7 +111,7 @@ mod sim_tests {
                 self.dst,
                 self.tag,
                 Protocol::Raw,
-                Bytes::new(),
+                Payload::empty(),
                 self.data_len,
                 1,
             );
@@ -730,7 +731,14 @@ mod sim_tests {
         impl Agent for Both {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 for _ in 0..self.n {
-                    ctx.send(self.peer, Tag::NONE, Protocol::Raw, Bytes::new(), 1000, 1);
+                    ctx.send(
+                        self.peer,
+                        Tag::NONE,
+                        Protocol::Raw,
+                        Payload::empty(),
+                        1000,
+                        1,
+                    );
                 }
             }
             fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
@@ -766,13 +774,122 @@ mod sim_tests {
             sim.link_stats(LinkId(0), Dir::BtoA).busy_time
         );
     }
+
+    /// Records every timer delivery. A driver token fires at 5 ms and either
+    /// re-arms the target token or cancels it, so the tests below can pin
+    /// the *exact* replacement/cancellation semantics of `set_timer_at`.
+    struct TimerProbe {
+        fired: Vec<(u64, SimTime)>,
+        initial: SimTime,
+        action: ProbeAction,
+    }
+
+    enum ProbeAction {
+        Move(SimTime),
+        Cancel,
+    }
+
+    const PROBE_TARGET: u64 = 7;
+    const PROBE_DRIVER: u64 = 0;
+
+    impl Agent for TimerProbe {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_at(self.initial, PROBE_TARGET);
+            ctx.set_timer_at(SimTime::from_millis(5), PROBE_DRIVER);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.push((token, ctx.now()));
+            if token == PROBE_DRIVER {
+                match self.action {
+                    ProbeAction::Move(at) => ctx.set_timer_at(at, PROBE_TARGET),
+                    ProbeAction::Cancel => ctx.cancel_timer(PROBE_TARGET),
+                }
+            }
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn probe_run(
+        initial: SimTime,
+        action: ProbeAction,
+    ) -> (Vec<(u64, SimTime)>, u64, u64, SimTime) {
+        let (topo, a, _b) = two_node_net(
+            Bandwidth::from_mbps(1),
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        let mut rt = RoutingTables::new(&topo);
+        rt.install_all_default_routes(&topo);
+        let mut sim = Simulator::new(topo, rt, 1);
+        let id = sim.add_agent(
+            a,
+            Box::new(TimerProbe {
+                fired: Vec::new(),
+                initial,
+                action,
+            }),
+            SimTime::ZERO,
+        );
+        sim.run_to_completion();
+        let probe = sim
+            .agent(id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<TimerProbe>())
+            .expect("probe agent");
+        (
+            probe.fired.clone(),
+            sim.stats().timers_cancelled,
+            sim.events_cancelled(),
+            sim.now(),
+        )
+    }
+
+    #[test]
+    fn rearm_later_never_fires_at_the_stale_deadline() {
+        // Armed at 10 ms, moved to 20 ms at 5 ms: the 10 ms event is
+        // cancelled in the queue, so the target fires exactly once, at
+        // exactly 20 ms — never at the superseded 10 ms deadline.
+        let ms = SimTime::from_millis;
+        let (fired, cancelled, ev_cancelled, end) = probe_run(ms(10), ProbeAction::Move(ms(20)));
+        assert_eq!(fired, vec![(PROBE_DRIVER, ms(5)), (PROBE_TARGET, ms(20))]);
+        assert_eq!(cancelled, 1, "the superseded deadline must be revoked");
+        assert_eq!(ev_cancelled, 1);
+        assert_eq!(end, ms(20));
+    }
+
+    #[test]
+    fn rearm_earlier_fires_at_the_new_deadline_only() {
+        // Armed at 20 ms, moved to 10 ms at 5 ms: fires once at 10 ms and
+        // the original 20 ms event never runs (the sim ends at 10 ms).
+        let ms = SimTime::from_millis;
+        let (fired, cancelled, _, end) = probe_run(ms(20), ProbeAction::Move(ms(10)));
+        assert_eq!(fired, vec![(PROBE_DRIVER, ms(5)), (PROBE_TARGET, ms(10))]);
+        assert_eq!(cancelled, 1);
+        assert_eq!(end, ms(10));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let ms = SimTime::from_millis;
+        let (fired, cancelled, ev_cancelled, end) = probe_run(ms(10), ProbeAction::Cancel);
+        assert_eq!(fired, vec![(PROBE_DRIVER, ms(5))]);
+        assert_eq!(cancelled, 1);
+        assert_eq!(ev_cancelled, 1);
+        assert_eq!(
+            end,
+            ms(5),
+            "sim must drain once the cancelled event is gone"
+        );
+    }
 }
 
 #[cfg(test)]
 mod proptests {
     //! Simulator invariants under randomized traffic.
     use super::*;
-    use bytes::Bytes;
     use proptest::prelude::*;
     use simbase::{Bandwidth, SimDuration, SimTime};
 
@@ -793,7 +910,14 @@ mod proptests {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
             let (_, size) = self.sends[self.next];
-            ctx.send(self.dst, Tag::NONE, Protocol::Raw, Bytes::new(), size, 1);
+            ctx.send(
+                self.dst,
+                Tag::NONE,
+                Protocol::Raw,
+                Payload::empty(),
+                size,
+                1,
+            );
             self.next += 1;
             if self.next < self.sends.len() {
                 let gap = self.sends[self.next]

@@ -7,7 +7,7 @@
 //! the standard packet-level simulation compromise (ns-3 does the same with
 //! virtual payloads).
 
-use bytes::Bytes;
+use crate::payload::Payload;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -104,8 +104,10 @@ pub struct Packet {
     pub tag: Tag,
     /// Transport protocol of the payload.
     pub protocol: Protocol,
-    /// Encoded transport header bytes (not the bulk data).
-    pub payload: Bytes,
+    /// Encoded transport header bytes (not the bulk data). Inline up to
+    /// [`crate::payload::INLINE_CAP`] bytes, so cloning a packet in flight
+    /// does not allocate.
+    pub payload: Payload,
     /// Bytes of *virtual* application data represented by this packet.
     pub data_len: u32,
     /// ECMP flow key: a stable hash input identifying the 5-tuple-ish flow.
@@ -207,7 +209,7 @@ mod tests {
             dst: NodeId(5),
             tag: Tag(3),
             protocol: Protocol::Tcp,
-            payload: Bytes::from(vec![0u8; payload_len]),
+            payload: Payload::from(vec![0u8; payload_len]),
             data_len,
             flow_hash: 42,
             ecn: Ecn::NotEct,

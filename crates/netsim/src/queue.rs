@@ -474,7 +474,7 @@ impl Queue for CoDel {
 mod tests {
     use super::*;
     use crate::packet::{NodeId, Protocol, Tag};
-    use bytes::Bytes;
+    use crate::payload::Payload;
     use simbase::rng::Xoshiro256StarStar;
 
     fn pkt(id: u64, data_len: u32) -> Packet {
@@ -484,7 +484,7 @@ mod tests {
             dst: NodeId(1),
             tag: Tag::NONE,
             protocol: Protocol::Raw,
-            payload: Bytes::new(),
+            payload: Payload::empty(),
             data_len,
             flow_hash: id,
             ecn: crate::packet::Ecn::NotEct,

@@ -143,8 +143,8 @@ impl RoutingTables {
 mod tests {
     use super::*;
     use crate::packet::Protocol;
+    use crate::payload::Payload;
     use crate::queue::QueueConfig;
-    use bytes::Bytes;
     use simbase::{Bandwidth, SimDuration};
 
     fn pkt(dst: NodeId, tag: Tag, flow_hash: u64) -> Packet {
@@ -154,7 +154,7 @@ mod tests {
             dst,
             tag,
             protocol: Protocol::Raw,
-            payload: Bytes::new(),
+            payload: Payload::empty(),
             data_len: 0,
             flow_hash,
             ecn: crate::packet::Ecn::NotEct,

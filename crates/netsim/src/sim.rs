@@ -37,10 +37,19 @@ enum Event {
     /// serialization (link failure) bumps the direction's epoch, so a
     /// stale TxDone cannot complete a *different* packet started later.
     TxDone { link: LinkId, dir: Dir, epoch: u64 },
-    /// A packet finished propagating and arrives at the far end.
-    Arrive { link: LinkId, dir: Dir, pkt: Packet },
-    /// Apply a scheduled network mutation (see [`crate::faults`]).
-    Fault(FaultAction),
+    /// A packet finished propagating and arrives at the far end. The
+    /// packet itself sits in the simulator's wire pool — a full [`Packet`]
+    /// embeds its inline payload (~112 bytes), and keeping queue entries
+    /// small makes every event-queue move a fraction of the cost.
+    Arrive {
+        link: LinkId,
+        dir: Dir,
+        wire_slot: u32,
+    },
+    /// Apply a scheduled network mutation (see [`crate::faults`]). Boxed:
+    /// faults are rare, and the variant would otherwise dominate the
+    /// event's size (it embeds a full queue configuration).
+    Fault(Box<FaultAction>),
 }
 
 /// Runtime state for one direction of a link.
@@ -89,6 +98,20 @@ pub struct Simulator {
     next_packet_id: u64,
     /// Packets currently inside the network (queued, serializing, flying).
     in_flight: u64,
+    /// Pending timers per agent: `(agent token, queue cancellation token)`
+    /// pairs, linear-scanned (an agent arms a handful of timers at most).
+    /// Arming an already-armed `(agent, token)` cancels the old deadline
+    /// (replacement semantics: a stale deadline can never fire).
+    timer_keys: Vec<Vec<(u64, u64)>>,
+    /// Packets in propagation, indexed by `Event::Arrive::wire_slot`.
+    /// Slots are recycled through `wire_free`, so steady-state forwarding
+    /// allocates nothing.
+    wire_pool: Vec<Option<Packet>>,
+    /// Vacant `wire_pool` indices.
+    wire_free: Vec<u32>,
+    /// Recycled effect buffers (one per live dispatch depth); dispatching
+    /// an agent in steady state allocates nothing.
+    effect_bufs: Vec<Vec<Effect>>,
     /// Maximum uniform per-hop forwarding jitter added to each packet's
     /// propagation leg (models kernel/switch processing noise; zero by
     /// default so timing tests stay exact).
@@ -141,6 +164,10 @@ impl Simulator {
             link_stats: Vec::new(),
             next_packet_id: 0,
             in_flight: 0,
+            timer_keys: Vec::new(),
+            wire_pool: Vec::new(),
+            wire_free: Vec::new(),
+            effect_bufs: Vec::new(),
             forward_jitter: SimDuration::ZERO,
         }
         .with_link_stats(link_stats)
@@ -179,6 +206,7 @@ impl Simulator {
         let id = AgentId(self.agents.len() as u32);
         self.agents.push(Some(agent));
         self.agent_node.push(node);
+        self.timer_keys.push(Vec::new());
         self.node_agent[node.0 as usize] = Some(id);
         self.events.push(start, Event::StartAgent(id));
         id
@@ -209,6 +237,40 @@ impl Simulator {
         &self.link_stats[link.0 as usize][dir.index()]
     }
 
+    /// Mutable counters for one direction of a link — the single indexing
+    /// site for all per-link stat updates (`link` comes from the topology,
+    /// so the bound holds by construction).
+    fn dir_stats(&mut self, link: LinkId, dir: Dir) -> &mut LinkDirStats {
+        &mut self.link_stats[link.0 as usize][dir.index()]
+    }
+
+    /// Park a propagating packet in the wire pool, returning its slot.
+    fn wire_put(&mut self, pkt: Packet) -> u32 {
+        if let Some(i) = self.wire_free.pop() {
+            if let Some(slot) = self.wire_pool.get_mut(i as usize) {
+                *slot = Some(pkt);
+                return i;
+            }
+        }
+        // Pool size is bounded by the peak in-flight packet count, far
+        // below u32::MAX; saturating would only ever alias the last slot.
+        let i = u32::try_from(self.wire_pool.len()).unwrap_or(u32::MAX);
+        self.wire_pool.push(Some(pkt));
+        i
+    }
+
+    /// Retrieve a propagating packet by slot, vacating it for reuse.
+    fn wire_take(&mut self, i: u32) -> Packet {
+        let pkt = self
+            .wire_pool
+            .get_mut(i as usize)
+            .and_then(Option::take)
+            // simlint: allow(unwrap, reason = "an Arrive event's slot is filled at push and vacated exactly once, here")
+            .expect("arrival references a vacant wire slot");
+        self.wire_free.push(i);
+        pkt
+    }
+
     /// Capture records collected so far.
     pub fn captures(&self) -> &[CaptureRecord] {
         &self.captures
@@ -222,6 +284,29 @@ impl Simulator {
     /// Packets currently inside the network.
     pub fn packets_in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Events scheduled over the run and not cancelled (the live share).
+    pub fn events_scheduled(&self) -> u64 {
+        self.events.total_pushed()
+    }
+
+    /// Events cancelled before firing — the dead-event count the old lazy
+    /// timer guards would have popped and ignored.
+    pub fn events_cancelled(&self) -> u64 {
+        self.events.total_cancelled()
+    }
+
+    /// Swap the event queue for the original binary-heap reference backend
+    /// (differential testing / benchmarking). Must be called before any
+    /// agents or faults are scheduled.
+    #[cfg(feature = "ref-heap")]
+    pub fn use_reference_heap(&mut self) {
+        assert!(
+            self.events.is_empty(),
+            "backend switch after events were scheduled"
+        );
+        self.events = EventQueue::new_reference_heap();
     }
 
     /// Borrow an agent back out of the simulator (after a run) to inspect
@@ -258,7 +343,7 @@ impl Simulator {
             }
             _ => {}
         }
-        self.events.push(at, Event::Fault(action));
+        self.events.push(at, Event::Fault(Box::new(action)));
     }
 
     /// Install every entry of a [`FaultSchedule`] as simulator events.
@@ -338,11 +423,23 @@ impl Simulator {
         match ev.event {
             Event::StartAgent(id) => self.dispatch(id, AgentCall::Start),
             Event::Timer { agent, token } => {
+                // Replacement semantics guarantee at most one live event per
+                // (agent, token); popping it retires the table entry.
+                if let Some(keys) = self.timer_keys.get_mut(agent.0 as usize) {
+                    if let Some(i) = keys.iter().position(|&(t, _)| t == token) {
+                        keys.swap_remove(i);
+                    }
+                }
                 self.stats.timers_fired += 1;
                 self.dispatch(agent, AgentCall::Timer(token));
             }
             Event::TxDone { link, dir, epoch } => self.on_tx_done(link, dir, epoch),
-            Event::Arrive { link, dir, pkt } => {
+            Event::Arrive {
+                link,
+                dir,
+                wire_slot,
+            } => {
+                let pkt = self.wire_take(wire_slot);
                 let spec = self.topo.link(link);
                 let node = match dir {
                     Dir::AtoB => spec.b,
@@ -350,7 +447,7 @@ impl Simulator {
                 };
                 self.handle_packet_at(node, pkt);
             }
-            Event::Fault(action) => self.apply_fault(action),
+            Event::Fault(action) => self.apply_fault(*action),
         }
         true
     }
@@ -428,7 +525,7 @@ impl Simulator {
                     for size in lost_bytes {
                         self.stats.packets_dropped += 1;
                         self.in_flight -= 1;
-                        self.link_stats[link.0 as usize][dir.index()].on_drop(size);
+                        self.dir_stats(link, dir).on_drop(size);
                     }
                 }
             }
@@ -438,35 +535,38 @@ impl Simulator {
     fn on_link_down(&mut self, link: LinkId) {
         self.log
             .log(self.now, LogLevel::Info, "sim", format!("{link:?} down"));
-        let rt = &mut self.links[link.0 as usize];
-        rt.up = false;
-        for dir in [Dir::AtoB, Dir::BtoA] {
-            let state = &mut rt.dirs[dir.index()];
-            // The packet being serialized is lost on the wire. Bump the
-            // epoch so the pending TxDone for the aborted serialization is
-            // recognized as stale even if a fresh transmission starts on
-            // this direction before it fires.
-            if let Some((pkt, _tx_time)) = state.transmitting.take() {
-                state.epoch += 1;
+        let mut lost_sizes: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        {
+            let rt = &mut self.links[link.0 as usize];
+            rt.up = false;
+            for (state, sizes) in rt.dirs.iter_mut().zip(lost_sizes.iter_mut()) {
+                // The packet being serialized is lost on the wire. Bump the
+                // epoch so the pending TxDone for the aborted serialization
+                // is recognized as stale even if a fresh transmission starts
+                // on this direction before it fires.
+                if let Some((pkt, _tx_time)) = state.transmitting.take() {
+                    state.epoch += 1;
+                    sizes.push(pkt.wire_size());
+                }
+                // Buffered packets are lost with the interface.
+                loop {
+                    let deq = state.queue.dequeue(self.now);
+                    let mut lost = deq.dropped;
+                    if let Some(p) = deq.pkt {
+                        lost.push(p);
+                    }
+                    if lost.is_empty() {
+                        break;
+                    }
+                    sizes.extend(lost.iter().map(Packet::wire_size));
+                }
+            }
+        }
+        for (dir, sizes) in [Dir::AtoB, Dir::BtoA].into_iter().zip(lost_sizes) {
+            for size in sizes {
                 self.stats.packets_dropped += 1;
                 self.in_flight -= 1;
-                self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
-            }
-            // Buffered packets are lost with the interface.
-            loop {
-                let deq = state.queue.dequeue(self.now);
-                let mut lost = deq.dropped;
-                if let Some(p) = deq.pkt {
-                    lost.push(p);
-                }
-                if lost.is_empty() {
-                    break;
-                }
-                for pkt in lost {
-                    self.stats.packets_dropped += 1;
-                    self.in_flight -= 1;
-                    self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
-                }
+                self.dir_stats(link, dir).on_drop(size);
             }
         }
         // A stale TxDone for the dropped transmission may still fire; it
@@ -480,7 +580,10 @@ impl Simulator {
             .take()
             .expect("re-entrant agent dispatch"); // simlint: allow(unwrap, reason = "slot is only vacated inside this non-reentrant fn")
         let node = self.agent_node[id.0 as usize];
-        let mut effects = Vec::new();
+        // Recycle an effect buffer: dispatch recurses through apply_effects
+        // (Send → handle_packet_at → dispatch), so each nesting depth holds
+        // its own buffer; steady state allocates none.
+        let mut effects = self.effect_bufs.pop().unwrap_or_default();
         {
             let mut ctx = Ctx::new(
                 self.now,
@@ -498,11 +601,13 @@ impl Simulator {
             }
         }
         self.agents[id.0 as usize] = Some(agent);
-        self.apply_effects(node, effects);
+        self.apply_effects(node, &mut effects);
+        debug_assert!(effects.is_empty());
+        self.effect_bufs.push(effects);
     }
 
-    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
-        for eff in effects {
+    fn apply_effects(&mut self, node: NodeId, effects: &mut Vec<Effect>) {
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send(pkt) => {
                     self.stats.packets_sent += 1;
@@ -513,7 +618,39 @@ impl Simulator {
                 Effect::SetTimer { at, token } => {
                     // simlint: allow(unwrap, reason = "effects originate from an agent installed at this node")
                     let agent = self.node_agent[node.0 as usize].expect("timer from unknown agent");
-                    self.events.push(at, Event::Timer { agent, token });
+                    let cancel = self
+                        .events
+                        .push_cancellable(at, Event::Timer { agent, token });
+                    // Re-arming replaces: revoke the superseded deadline so
+                    // it can never fire stale.
+                    let old = self
+                        .timer_keys
+                        .get_mut(agent.0 as usize)
+                        .and_then(|keys| match keys.iter_mut().find(|(t, _)| *t == token) {
+                            Some(entry) => Some(std::mem::replace(&mut entry.1, cancel)),
+                            None => {
+                                keys.push((token, cancel));
+                                None
+                            }
+                        });
+                    if let Some(old) = old {
+                        if self.events.cancel(old) {
+                            self.stats.timers_cancelled += 1;
+                        }
+                    }
+                }
+                Effect::CancelTimer { token } => {
+                    // simlint: allow(unwrap, reason = "effects originate from an agent installed at this node")
+                    let agent = self.node_agent[node.0 as usize].expect("timer from unknown agent");
+                    let old = self.timer_keys.get_mut(agent.0 as usize).and_then(|keys| {
+                        let i = keys.iter().position(|&(t, _)| t == token)?;
+                        Some(keys.swap_remove(i).1)
+                    });
+                    if let Some(old) = old {
+                        if self.events.cancel(old) {
+                            self.stats.timers_cancelled += 1;
+                        }
+                    }
                 }
             }
         }
@@ -564,7 +701,7 @@ impl Simulator {
             // Interface down: the packet is lost at this hop.
             self.stats.packets_dropped += 1;
             self.in_flight -= 1;
-            self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+            self.dir_stats(link, dir).on_drop(pkt.wire_size());
             if self.capture_cfg.wants(from, CaptureKind::Dropped) {
                 self.captures.push(CaptureRecord {
                     time: self.now,
@@ -589,12 +726,12 @@ impl Simulator {
             match state.queue.enqueue(self.now, pkt, &mut self.rng) {
                 EnqueueResult::Queued => {
                     let (p, b) = (state.queue.len_packets(), state.queue.len_bytes());
-                    self.link_stats[link.0 as usize][dir.index()].observe_queue(p, b);
+                    self.dir_stats(link, dir).observe_queue(p, b);
                 }
                 EnqueueResult::Dropped(reason) => {
                     self.stats.packets_dropped += 1;
                     self.in_flight -= 1;
-                    self.link_stats[link.0 as usize][dir.index()].on_drop(meta.wire_size);
+                    self.dir_stats(link, dir).on_drop(meta.wire_size);
                     self.log.log(
                         self.now,
                         LogLevel::Debug,
@@ -622,6 +759,7 @@ impl Simulator {
         let spec = self.topo.link(link);
         let delay = spec.delay;
         let capacity = spec.capacity;
+        let loss_rate = spec.loss_rate;
         let state = &mut self.links[link.0 as usize].dirs[dir.index()];
         // A link-down event may have aborted the serialization this event
         // belongs to: the abort bumped the direction's epoch, so a stale
@@ -634,13 +772,13 @@ impl Simulator {
         };
         // `tx_time` was fixed when the serialization started; a capacity
         // fault mid-transmission does not retroactively change it.
-        self.link_stats[link.0 as usize][dir.index()].on_tx(pkt.wire_size(), tx_time);
+        self.dir_stats(link, dir).on_tx(pkt.wire_size(), tx_time);
         // Wireless-style random corruption loss (after serialization).
-        let corrupted = spec.loss_rate > 0.0 && self.rng.chance(spec.loss_rate);
+        let corrupted = loss_rate > 0.0 && self.rng.chance(loss_rate);
         if corrupted {
             self.stats.packets_dropped += 1;
             self.in_flight -= 1;
-            self.link_stats[link.0 as usize][dir.index()].on_drop(pkt.wire_size());
+            self.dir_stats(link, dir).on_drop(pkt.wire_size());
         }
         let jitter = if self.forward_jitter.is_zero() {
             SimDuration::ZERO
@@ -648,8 +786,16 @@ impl Simulator {
             SimDuration::from_nanos(self.rng.next_below(self.forward_jitter.as_nanos() + 1))
         };
         if !corrupted {
-            self.events
-                .push(self.now + delay + jitter, Event::Arrive { link, dir, pkt });
+            let wire_slot = self.wire_put(pkt);
+            let at = self.now + delay + jitter;
+            self.events.push(
+                at,
+                Event::Arrive {
+                    link,
+                    dir,
+                    wire_slot,
+                },
+            );
         }
 
         // Start the next packet, if any (the AQM may head-drop on the way).
@@ -658,7 +804,7 @@ impl Simulator {
         for dropped in deq.dropped {
             self.stats.packets_dropped += 1;
             self.in_flight -= 1;
-            self.link_stats[link.0 as usize][dir.index()].on_drop(dropped.wire_size());
+            self.dir_stats(link, dir).on_drop(dropped.wire_size());
         }
         if let Some(next) = deq.pkt {
             let tx_time = capacity.tx_time(next.wire_size() as u64);

@@ -80,6 +80,9 @@ pub struct SimStats {
     pub packets_unroutable: u64,
     /// Timer events fired.
     pub timers_fired: u64,
+    /// Timer deadlines cancelled before firing (replaced by a re-arm or
+    /// revoked via `Ctx::cancel_timer`); these never pop from the queue.
+    pub timers_cancelled: u64,
 }
 
 impl SimStats {

@@ -8,7 +8,7 @@
 
 use crate::agent::{Agent, Ctx};
 use crate::packet::{NodeId, Packet, Protocol, Tag};
-use bytes::Bytes;
+use crate::payload::Payload;
 use simbase::{Bandwidth, SimDuration, SimRng};
 
 /// Constant-bit-rate datagram source: one `packet_bytes` packet every
@@ -48,7 +48,7 @@ impl CbrSource {
             self.dst,
             self.tag,
             Protocol::Raw,
-            Bytes::new(),
+            Payload::empty(),
             self.packet_bytes,
             self.flow_hash,
         );
@@ -152,7 +152,7 @@ impl Agent for OnOffSource {
                     self.dst,
                     self.tag,
                     Protocol::Raw,
-                    Bytes::new(),
+                    Payload::empty(),
                     self.packet_bytes,
                     0xB0B0,
                 );

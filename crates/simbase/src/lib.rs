@@ -5,8 +5,10 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time with
 //!   saturating/checked arithmetic, so a run is bit-for-bit reproducible.
-//! * [`EventQueue`] — a binary-heap event queue with deterministic FIFO
-//!   tie-breaking for events scheduled at the same instant.
+//! * [`EventQueue`] — a hierarchical-timing-wheel event queue with
+//!   deterministic FIFO tie-breaking for events scheduled at the same
+//!   instant and first-class cancellation tokens (a `ref-heap`-gated
+//!   binary-heap reference backend supports differential testing).
 //! * [`Bandwidth`] / [`ByteSize`] — strongly typed units so "40" can never be
 //!   silently read as megabits when bytes were meant, plus exact
 //!   transmission-time computation in integer arithmetic.

@@ -31,7 +31,9 @@ pub struct TcpSenderAgent {
     dst: NodeId,
     tag: Tag,
     flow_hash: u64,
-    /// Earliest armed timer deadline (avoids flooding the event queue).
+    /// Memo of the armed deadline. Arming a token *replaces* the pending
+    /// event in the queue, so this exists only to skip redundant re-arms
+    /// when the engine's deadline has not moved.
     armed: Option<SimTime>,
 }
 
@@ -81,12 +83,22 @@ impl TcpSenderAgent {
     }
 
     fn rearm(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(t) = self.sender.next_timer() {
-            let fire_at = t.max(ctx.now());
-            // Only schedule if it beats the currently armed deadline.
-            if self.armed.is_none_or(|a| fire_at < a || a <= ctx.now()) {
-                ctx.set_timer_at(fire_at, TOKEN_RTO);
-                self.armed = Some(fire_at);
+        match self.sender.next_timer() {
+            Some(t) => {
+                let fire_at = t.max(ctx.now());
+                // Re-arming replaces the pending deadline outright (the old
+                // event is cancelled in the queue), so the timer tracks the
+                // engine exactly — moved later as well as earlier. A stale
+                // deadline can never fire.
+                if self.armed != Some(fire_at) {
+                    ctx.set_timer_at(fire_at, TOKEN_RTO);
+                    self.armed = Some(fire_at);
+                }
+            }
+            None => {
+                if self.armed.take().is_some() {
+                    ctx.cancel_timer(TOKEN_RTO);
+                }
             }
         }
     }
@@ -131,6 +143,10 @@ impl Agent for TcpSenderAgent {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_RTO => {
+                // Replacement semantics guarantee a fire matches the armed
+                // deadline exactly; a stale (superseded) deadline reaching
+                // this point would be a queue-cancellation bug.
+                debug_assert_eq!(self.armed, Some(ctx.now()), "RTO fired at a stale deadline");
                 self.armed = None;
                 self.sender.on_timer(ctx.now());
                 self.pump(ctx);
@@ -149,6 +165,10 @@ impl Agent for TcpSenderAgent {
     fn name(&self) -> String {
         format!("tcp.sender[{}]", self.sender.config().src_port)
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// A TCP receiver endpoint that ACKs whatever arrives.
@@ -159,6 +179,8 @@ pub struct TcpReceiverAgent {
     /// Peer address, learned from the first data packet (needed to address
     /// delayed-ACK flushes that fire outside packet context).
     peer: Option<NodeId>,
+    /// Memo of the armed delayed-ACK deadline (see [`TcpSenderAgent`]).
+    armed: Option<SimTime>,
 }
 
 impl TcpReceiverAgent {
@@ -170,12 +192,30 @@ impl TcpReceiverAgent {
             tag,
             flow_hash: fh,
             peer: None,
+            armed: None,
         }
     }
 
     /// Access the underlying engine (post-run inspection).
     pub fn receiver(&self) -> &TcpReceiver {
         &self.receiver
+    }
+
+    fn rearm(&mut self, ctx: &mut Ctx<'_>) {
+        match self.receiver.next_timer() {
+            Some(t) => {
+                let fire_at = t.max(ctx.now());
+                if self.armed != Some(fire_at) {
+                    ctx.set_timer_at(fire_at, TOKEN_DELACK);
+                    self.armed = Some(fire_at);
+                }
+            }
+            None => {
+                if self.armed.take().is_some() {
+                    ctx.cancel_timer(TOKEN_DELACK);
+                }
+            }
+        }
     }
 }
 
@@ -205,13 +245,17 @@ impl Agent for TcpReceiverAgent {
                 self.flow_hash,
             );
         }
-        if let Some(t) = self.receiver.next_timer() {
-            ctx.set_timer_at(t.max(ctx.now()), TOKEN_DELACK);
-        }
+        self.rearm(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         if token == TOKEN_DELACK {
+            debug_assert_eq!(
+                self.armed,
+                Some(ctx.now()),
+                "delayed-ACK timer fired at a stale deadline"
+            );
+            self.armed = None;
             if let Some(ack) = self.receiver.on_timer(ctx.now()) {
                 // The delayed-ACK timer only arms once a segment has set peer.
                 let Some(peer) = self.peer else { return };
@@ -224,10 +268,15 @@ impl Agent for TcpReceiverAgent {
                     self.flow_hash,
                 );
             }
+            self.rearm(ctx);
         }
     }
 
     fn name(&self) -> String {
         "tcp.receiver".to_string()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }

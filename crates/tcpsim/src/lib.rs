@@ -386,6 +386,56 @@ mod e2e_tests {
     }
 
     #[test]
+    fn fast_retransmit_rearms_rto_without_stale_firing() {
+        // A tiny queue forces losses that fast retransmit recovers. Every
+        // retransmission and every new ACK pushes the RTO deadline *later*;
+        // under replacement semantics the superseded deadline is cancelled
+        // in the event queue, so it can never fire stale (the agents'
+        // debug_assert pins that each fire matches the armed deadline
+        // exactly). This scenario exercises that path hundreds of times.
+        let mut net = build_net(10, 5, 4, 11);
+        let cfg = TcpConfig::default();
+        let cc = Box::new(Cubic::new(cfg.initial_cwnd, cfg.mss));
+        let id = net.sim.add_agent(
+            net.src,
+            Box::new(TcpSenderAgent::new(
+                cfg,
+                cc,
+                AppSource::Unlimited,
+                net.dst,
+                Tag::NONE,
+            )),
+            SimTime::ZERO,
+        );
+        net.sim.add_agent(
+            net.dst,
+            Box::new(TcpReceiverAgent::new(ReceiverConfig::default(), Tag::NONE)),
+            SimTime::ZERO,
+        );
+        net.sim.run_until(SimTime::from_secs(3));
+
+        let agent = net
+            .sim
+            .agent(id)
+            .as_any()
+            .and_then(|a| a.downcast_ref::<TcpSenderAgent>())
+            .expect("sender agent");
+        let stats = agent.sender().stats();
+        assert!(
+            stats.loss_events > 0,
+            "scenario must exercise fast retransmit"
+        );
+        assert_eq!(
+            stats.rtos, 0,
+            "fast-retransmit recovery must not trip an RTO"
+        );
+        assert!(
+            net.sim.stats().timers_cancelled > 0,
+            "re-arms must cancel superseded deadlines in the queue"
+        );
+    }
+
+    #[test]
     fn paced_source_tracks_offered_load() {
         let mut net = build_net(10, 5, 64, 7);
         let cfg = TcpConfig::default();

@@ -8,7 +8,7 @@
 //! ACK segment the caller should transmit.
 
 use crate::seq::SeqNum;
-use crate::wire::{SackBlock, TcpFlags, TcpSegment, Timestamps, MAX_SACK_BLOCKS};
+use crate::wire::{SackList, TcpFlags, TcpSegment, Timestamps, MAX_SACK_BLOCKS};
 use simbase::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -249,7 +249,7 @@ impl TcpReceiver {
             },
             window: self.cfg.window,
             ts: Some(Timestamps {
-                tsval: (now.as_nanos() / 1_000) as u32,
+                tsval: Timestamps::tsval_at(now),
                 tsecr: self.last_tsval,
             }),
             mss: None,
@@ -260,9 +260,10 @@ impl TcpReceiver {
 
     /// Up to [`MAX_SACK_BLOCKS`] blocks: the most recently updated range
     /// first (RFC 2018 §4), then the other ranges, newest-start first.
-    fn sack_blocks(&self) -> Vec<SackBlock> {
+    /// Returned inline — building an ACK allocates nothing.
+    fn sack_blocks(&self) -> SackList {
         if !self.cfg.sack || self.ooo.is_empty() {
-            return Vec::new();
+            return SackList::new();
         }
         let to_wire = |s: u64, e: u64| {
             (
@@ -270,7 +271,7 @@ impl TcpReceiver {
                 SeqNum::from_offset(self.cfg.peer_isn, e),
             )
         };
-        let mut blocks = Vec::with_capacity(MAX_SACK_BLOCKS);
+        let mut blocks = SackList::new();
         let mut first_start = None;
         if let Some((s, _)) = self.recent_block {
             // The recent range may have merged; report its current extent.
@@ -331,7 +332,7 @@ mod tests {
             window: 0,
             ts: Some(Timestamps { tsval, tsecr: 0 }),
             mss: None,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dss: None,
         }
     }

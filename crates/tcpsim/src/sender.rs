@@ -26,7 +26,7 @@
 use crate::cc::{AckContext, CongestionControl, LossContext};
 use crate::rtt::RttEstimator;
 use crate::seq::SeqNum;
-use crate::wire::{TcpFlags, TcpSegment, Timestamps};
+use crate::wire::{SackList, TcpFlags, TcpSegment, Timestamps};
 use simbase::{SimDuration, SimTime};
 
 /// Static configuration of a TCP flow endpoint.
@@ -395,7 +395,9 @@ impl TcpSender {
             if highest < cursor + self.loss_threshold() {
                 return None;
             }
-            let len = (hole_end - cursor).min(self.cfg.mss as u64) as u32;
+            // Bounded by `mss`, so the conversion cannot truncate.
+            let len = u32::try_from((hole_end - cursor).min(u64::from(self.cfg.mss)))
+                .unwrap_or(self.cfg.mss);
             return Some((cursor, len));
         }
     }
@@ -440,7 +442,7 @@ impl TcpSender {
     }
 
     fn tsval(now: SimTime) -> u32 {
-        (now.as_nanos() / 1_000) as u32
+        Timestamps::tsval_at(now)
     }
 
     fn make_segment(&mut self, now: SimTime, offset: u64) -> TcpSegment {
@@ -460,7 +462,7 @@ impl TcpSender {
                 tsecr: self.peer_tsval,
             }),
             mss: None,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dss: None,
         }
     }
@@ -474,7 +476,8 @@ impl TcpSender {
         }
         // Total stream length = snd_nxt + available.
         let end = self.snd_nxt + self.available;
-        (end - offset).min(mss) as u32
+        // Bounded by `mss`, so the conversion cannot truncate.
+        u32::try_from((end - offset).min(mss)).unwrap_or(self.cfg.mss)
     }
 
     /// Produce the next segment to transmit, if any. Call repeatedly until
@@ -500,9 +503,11 @@ impl TcpSender {
                     is_retransmission: true,
                 });
             }
-            let len = self
-                .segment_len_at(off)
-                .min((self.snd_nxt - off).min(self.cfg.mss as u64) as u32);
+            // Both bounds are clamped to `mss`, so neither conversion can
+            // truncate.
+            let sent_len = u32::try_from((self.snd_nxt - off).min(u64::from(self.cfg.mss)))
+                .unwrap_or(self.cfg.mss);
+            let len = self.segment_len_at(off).min(sent_len);
             if len == 0 {
                 continue;
             }
@@ -902,7 +907,7 @@ mod tests {
             window: 4 << 20,
             ts: Some(Timestamps { tsval: 1, tsecr }),
             mss: None,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dss: None,
         }
     }

@@ -27,7 +27,7 @@ impl SeqNum {
     /// Signed distance `self - other` in serial arithmetic
     /// (positive if `self` is logically after `other`).
     pub fn distance(self, other: SeqNum) -> i32 {
-        self.0.wrapping_sub(other.0) as i32
+        self.0.wrapping_sub(other.0).cast_signed()
     }
 
     /// Serial "less than": true if `self` is logically before `other`.
@@ -43,7 +43,10 @@ impl SeqNum {
     /// Map an absolute stream offset to a wire sequence number, given the
     /// connection's initial sequence number.
     pub fn from_offset(isn: SeqNum, offset: u64) -> SeqNum {
-        SeqNum(isn.0.wrapping_add(offset as u32))
+        // Offsets map onto the 32-bit wire space modulo 2^32 by design;
+        // the mask makes the conversion total.
+        let low = u32::try_from(offset & u64::from(u32::MAX)).unwrap_or(u32::MAX);
+        SeqNum(isn.0.wrapping_add(low))
     }
 
     /// Recover the absolute stream offset of this wire number, assuming it

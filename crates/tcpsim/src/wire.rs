@@ -16,8 +16,11 @@
 //! travels in `netsim::Packet::data_len` (like the IP total-length field).
 
 use crate::seq::SeqNum;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut};
+use netsim::{Payload, PayloadWriter};
+use simbase::SimTime;
 use std::fmt;
+use std::ops::Deref;
 
 /// TCP header flags (subset; no URG modelling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,8 +80,143 @@ pub struct Timestamps {
     pub tsecr: u32,
 }
 
+impl Timestamps {
+    /// The wire TS value for `now`: simulated microseconds modulo 2^32
+    /// (timestamps wrap by design, RFC 7323 §5.4; the mask makes the
+    /// conversion total).
+    pub fn tsval_at(now: SimTime) -> u32 {
+        u32::try_from((now.as_nanos() / 1_000) & u64::from(u32::MAX)).unwrap_or(u32::MAX)
+    }
+}
+
 /// A SACK block: a received range `[left, right)` above the cumulative ACK.
 pub type SackBlock = (SeqNum, SeqNum);
+
+/// Fixed capacity of a [`SackList`]: one more slot than [`MAX_SACK_BLOCKS`]
+/// so an over-full list reaches [`TcpSegment::encode`]'s limit check instead
+/// of being silently truncated at construction.
+pub const SACK_CAP: usize = MAX_SACK_BLOCKS + 1;
+
+/// An inline, allocation-free list of SACK blocks.
+///
+/// Replaces `Vec<SackBlock>` in [`TcpSegment`]: segments are built and
+/// cloned for every packet, and SACK-carrying ACKs dominate reverse-path
+/// traffic, so keeping the blocks inline removes a heap allocation per ACK.
+/// Equality is by content; iteration is in insertion order. Dereferences to
+/// `[SackBlock]`.
+#[derive(Clone, Copy)]
+pub struct SackList {
+    blocks: [SackBlock; SACK_CAP],
+    len: u8,
+}
+
+impl SackList {
+    /// An empty list.
+    pub const fn new() -> SackList {
+        SackList {
+            blocks: [(SeqNum(0), SeqNum(0)); SACK_CAP],
+            len: 0,
+        }
+    }
+
+    /// Number of blocks held.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True if no blocks are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The blocks as a slice.
+    pub fn as_slice(&self) -> &[SackBlock] {
+        self.blocks.get(..usize::from(self.len)).unwrap_or(&[])
+    }
+
+    /// Append a block. The capacity is a protocol bound, not a resource
+    /// limit: an overflowing push is dropped (debug builds assert), and
+    /// [`TcpSegment::encode`] rejects over-long lists regardless.
+    pub fn push(&mut self, block: SackBlock) {
+        match self.blocks.get_mut(usize::from(self.len)) {
+            Some(slot) => {
+                *slot = block;
+                self.len += 1;
+            }
+            None => debug_assert!(false, "SACK list overflow (capacity {SACK_CAP})"),
+        }
+    }
+
+    /// Remove and return the newest block.
+    pub fn pop(&mut self) -> Option<SackBlock> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        self.blocks.get(usize::from(self.len)).copied()
+    }
+
+    /// Drop all blocks.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Iterate over the blocks in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SackBlock> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for SackList {
+    fn default() -> SackList {
+        SackList::new()
+    }
+}
+
+impl Deref for SackList {
+    type Target = [SackBlock];
+    fn deref(&self) -> &[SackBlock] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SackList {
+    fn eq(&self, other: &SackList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SackList {}
+
+impl fmt::Debug for SackList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackList {
+    type Item = &'a SackBlock;
+    type IntoIter = std::slice::Iter<'a, SackBlock>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<SackBlock> for SackList {
+    fn from_iter<I: IntoIterator<Item = SackBlock>>(it: I) -> SackList {
+        let mut list = SackList::new();
+        for block in it {
+            list.push(block);
+        }
+        list
+    }
+}
+
+impl From<Vec<SackBlock>> for SackList {
+    fn from(v: Vec<SackBlock>) -> SackList {
+        v.into_iter().collect()
+    }
+}
 
 /// MPTCP Data Sequence Signal (fixed-width variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +257,8 @@ pub struct TcpSegment {
     pub ts: Option<Timestamps>,
     /// MSS option (SYN only by convention; encoded whenever present).
     pub mss: Option<u16>,
-    /// SACK blocks (RFC 2018), at most [`MAX_SACK_BLOCKS`].
-    pub sack: Vec<SackBlock>,
+    /// SACK blocks (RFC 2018), at most [`MAX_SACK_BLOCKS`]; stored inline.
+    pub sack: SackList,
     /// MPTCP DSS option.
     pub dss: Option<DssOption>,
 }
@@ -140,7 +278,7 @@ impl Default for TcpSegment {
             window: 0,
             ts: None,
             mss: None,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dss: None,
         }
     }
@@ -176,10 +314,22 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Narrow a small length (bounded below 256 by the caller's protocol
+/// arithmetic) to the byte the wire format stores it in. Saturates instead
+/// of truncating if the caller's bound is ever violated.
+fn len_byte(v: usize) -> u8 {
+    debug_assert!(v <= usize::from(u8::MAX), "length {v} does not fit a byte");
+    u8::try_from(v).unwrap_or(u8::MAX)
+}
+
 impl TcpSegment {
     /// Encode the header (with options, padded to a 4-byte boundary).
-    pub fn encode(&self) -> Bytes {
-        let mut opts = BytesMut::new();
+    ///
+    /// The result is always an inline [`Payload`]: the data-offset field
+    /// caps a TCP header at 60 bytes, under [`netsim::INLINE_CAP`], so
+    /// encoding never allocates.
+    pub fn encode(&self) -> Payload {
+        let mut opts = PayloadWriter::new();
         if let Some(ts) = &self.ts {
             opts.put_u8(OPT_TS);
             opts.put_u8(10);
@@ -194,7 +344,7 @@ impl TcpSegment {
         if !self.sack.is_empty() {
             assert!(self.sack.len() <= MAX_SACK_BLOCKS, "too many SACK blocks");
             opts.put_u8(OPT_SACK);
-            opts.put_u8(2 + 8 * self.sack.len() as u8);
+            opts.put_u8(len_byte(2 + 8 * self.sack.len()));
             for (l, r) in &self.sack {
                 opts.put_u32(l.0);
                 opts.put_u32(r.0);
@@ -204,10 +354,10 @@ impl TcpSegment {
             // kind, len, flags, [data_ack u64], [dsn u64 + ssn u32 + dll u16]
             let has_ack = dss.data_ack.is_some();
             let has_map = dss.dsn.is_some();
-            let len = 3 + if has_ack { 8 } else { 0 } + if has_map { 14 } else { 0 };
+            let len: u8 = 3 + if has_ack { 8 } else { 0 } + if has_map { 14 } else { 0 };
             opts.put_u8(OPT_DSS);
-            opts.put_u8(len as u8);
-            opts.put_u8((has_ack as u8) | (has_map as u8) << 1);
+            opts.put_u8(len);
+            opts.put_u8(u8::from(has_ack) | u8::from(has_map) << 1);
             if let Some(da) = dss.data_ack {
                 opts.put_u64(da);
             }
@@ -223,18 +373,20 @@ impl TcpSegment {
 
         let data_offset_words = 5 + opts.len() / 4;
         assert!(data_offset_words <= 15, "options too long");
-        let mut buf = BytesMut::with_capacity(20 + opts.len());
+        let window_wire = u16::try_from((self.window >> WINDOW_SHIFT).min(u32::from(u16::MAX)))
+            .unwrap_or(u16::MAX);
+        let mut buf = PayloadWriter::new();
         buf.put_u16(self.src_port);
         buf.put_u16(self.dst_port);
         buf.put_u32(self.seq.0);
         buf.put_u32(self.ack.0);
-        buf.put_u8((data_offset_words as u8) << 4);
+        buf.put_u8(len_byte(data_offset_words) << 4);
         buf.put_u8(self.flags.to_byte());
-        buf.put_u16((self.window >> WINDOW_SHIFT).min(u16::MAX as u32) as u16);
+        buf.put_u16(window_wire);
         buf.put_u16(0); // checksum: links are error-free in the model
         buf.put_u16(0); // urgent pointer unused
-        buf.extend_from_slice(&opts);
-        buf.freeze()
+        buf.put_slice(opts.as_slice());
+        buf.finish()
     }
 
     /// Decode a header previously produced by [`TcpSegment::encode`].
@@ -257,7 +409,9 @@ impl TcpSegment {
         if header_len < 20 || header_len > total {
             return Err(WireError::BadDataOffset);
         }
-        let mut opts = &buf[..header_len - 20];
+        // `buf` has advanced exactly 20 bytes, so `header_len <= total`
+        // guarantees the options region is in range; `get` keeps this total.
+        let mut opts: &[u8] = buf.get(..header_len - 20).unwrap_or(&[]);
 
         let mut seg = TcpSegment {
             src_port,
@@ -268,7 +422,7 @@ impl TcpSegment {
             window,
             ts: None,
             mss: None,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dss: None,
         };
         while opts.has_remaining() {
@@ -310,6 +464,10 @@ impl TcpSegment {
                     if k > MAX_SACK_BLOCKS {
                         return Err(WireError::BadOption(kind));
                     }
+                    // A repeated SACK option replaces the earlier one (same
+                    // last-wins rule as TS/MSS/DSS) and keeps the inline
+                    // list within capacity on adversarial inputs.
+                    seg.sack.clear();
                     for _ in 0..k {
                         let l = SeqNum(opts.get_u32());
                         let r = SeqNum(opts.get_u32());
@@ -637,11 +795,12 @@ mod proptests {
         )
     }
 
-    fn arb_sack() -> impl Strategy<Value = Vec<SackBlock>> {
+    fn arb_sack() -> impl Strategy<Value = SackList> {
         proptest::collection::vec(
             (any::<u32>(), any::<u32>()).prop_map(|(l, r)| (SeqNum(l), SeqNum(r))),
             0..=MAX_SACK_BLOCKS,
         )
+        .prop_map(SackList::from)
     }
 
     fn arb_dss() -> impl Strategy<Value = Option<DssOption>> {
