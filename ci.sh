@@ -34,9 +34,18 @@ echo "==> perf snapshot (events/sec, packets/sec, lint lines/sec, peak RSS)"
 ./target/release/perf_snapshot > BENCH_simlint.json
 cat BENCH_simlint.json
 
-echo "==> simulator scenario-suite benchmark (wheel vs reference heap, gated)"
-# Fails if any scenario's heap and wheel trace hashes differ, or if the
-# wheel is slower than the heap (events/sec) on any scenario.
+echo "==> parallel-vs-serial hash identity (conservative region engine)"
+# Unconditional: region-count independence is a determinism contract, not
+# a performance claim — it must hold even on a single-core host.
+cargo test --offline -q -p overlap-core --test parallel_regions
+
+echo "==> simulator scenario-suite benchmark (wheel vs reference heap + region scaling, gated)"
+# Fails if any scenario's heap and wheel trace hashes differ, if the
+# wheel is slower than the heap (events/sec) on any scenario, or if any
+# region count's trace hash differs from serial. The "partitioned run
+# reaches serial throughput" gate inside bench_sim only arms itself when
+# the host reports >= 2 cores (conservative sync on one core is pure
+# overhead; see the README perf table caveat).
 ./target/release/bench_sim --gate > BENCH_sim.json
 cat BENCH_sim.json
 

@@ -12,6 +12,8 @@
 //!   table, plus sweeps used by the benchmark binaries.
 //! * [`randomnet`] — generalized overlapping topologies (every pair of
 //!   paths shares one bottleneck) for beyond-the-paper experiments.
+//! * [`bigchain`] — the dual router-chain network: a large, pinned,
+//!   shardable scenario for the parallel engine's region-scaling bench.
 //! * [`runner`] — the deterministic parallel sweep engine: declarative
 //!   cartesian-product specs fanned across a worker pool, results in spec
 //!   order, LP ground truth memoized.
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bigchain;
 pub mod determinism;
 pub mod experiments;
 pub mod failover;
@@ -50,6 +53,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
+pub use bigchain::DualChainNet;
 pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
 pub use experiments::{
     fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow, FIG2_SEED,

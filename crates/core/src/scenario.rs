@@ -61,6 +61,16 @@ pub struct Scenario {
     /// Event-queue backend. Results are engine-independent by contract
     /// (trace hashes must match; see `engine_diff` tests and `bench_sim`).
     pub engine: QueueEngine,
+    /// Parallel regions to shard the simulation across (1 = serial, the
+    /// default). Results are region-count-independent by contract: the
+    /// conservative engine produces byte-identical traces for any count
+    /// (see the `parallel_regions` tests and `bench_sim`).
+    pub regions: usize,
+    /// Explicit node→region map, overriding `regions` and the greedy
+    /// partitioner — for experiments that force a particular cut (e.g.
+    /// through a shared bottleneck). `None` (the default) partitions
+    /// greedily when `regions > 1`.
+    pub region_map: Option<Vec<u32>>,
 }
 
 /// Which event-queue backend executes the run.
@@ -110,6 +120,8 @@ impl Scenario {
             background: Vec::new(),
             faults: FaultSchedule::new(),
             engine: QueueEngine::default(),
+            regions: 1,
+            region_map: None,
         }
     }
 
@@ -122,6 +134,19 @@ impl Scenario {
     /// Builder-style override of the congestion-control algorithm.
     pub fn with_algo(mut self, algo: CcAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Builder-style override of the parallel region count.
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions;
+        self
+    }
+
+    /// Builder-style override of the node→region map (see
+    /// [`Scenario::region_map`]).
+    pub fn with_region_map(mut self, map: Vec<u32>) -> Self {
+        self.region_map = Some(map);
         self
     }
 
@@ -143,6 +168,11 @@ impl Scenario {
         self.run_with_lp_cache(None)
     }
 
+    /// The canonical routing tag of path `i` (1-based: `Tag(0)` is NONE).
+    fn path_tag(i: usize) -> Tag {
+        Tag(1 + i as u16) // simlint: allow(truncating-cast, reason = "path counts are tiny (the paper uses three); u16 is not a real bound")
+    }
+
     /// Execute the scenario, resolving the LP ground truth through `cache`
     /// when one is given. Sweeps over many (algo, seed, default-path) cells
     /// share one topology family, so the runner threads a shared
@@ -151,18 +181,19 @@ impl Scenario {
     /// without a cache (asserted by the runner test suite): the cache key
     /// pins every input of the solve.
     pub fn run_with_lp_cache(&self, lp_cache: Option<&lpsolve::LpCache>) -> RunResult {
-        assert!(!self.paths.is_empty(), "need at least one path");
+        assert!(!self.paths.is_empty(), "need at least one path"); // simlint: allow(panic-surface, reason = "argument validation before the simulation starts")
+                                                                   // simlint: allow(panic-surface, reason = "argument validation before the simulation starts")
         assert!(
             self.default_path < self.paths.len(),
             "default_path out of range"
         );
-        let src = self.paths[0].src();
+        let src = self.paths[0].src(); // simlint: allow(panic-surface, reason = "non-empty is asserted two lines up")
         let dst = mptcpsim::common_destination(&self.paths);
 
         // Routing: tag i+1 pins path i, installed bidirectionally.
         let mut routing = RoutingTables::new(&self.topology);
         for (i, p) in self.paths.iter().enumerate() {
-            routing.install_path(p, Tag(1 + i as u16));
+            routing.install_path(p, Self::path_tag(i));
         }
         for bg in &self.background {
             routing.install_default_routes_to(&self.topology, bg.to);
@@ -174,9 +205,9 @@ impl Scenario {
         let subflows: Vec<SubflowConfig> = order
             .iter()
             .map(|&ci| SubflowConfig {
-                tag: Tag(1 + ci as u16),
-                src_port: 5000 + ci as u16,
-                dst_port: 6000 + ci as u16,
+                tag: Self::path_tag(ci),
+                src_port: 5000 + ci as u16, // simlint: allow(truncating-cast, reason = "path counts are tiny (the paper uses three); u16 is not a real bound")
+                dst_port: 6000 + ci as u16, // simlint: allow(truncating-cast, reason = "path counts are tiny (the paper uses three); u16 is not a real bound")
             })
             .collect();
 
@@ -232,7 +263,13 @@ impl Scenario {
         let receiver_id = sim.add_agent(dst, Box::new(receiver), SimTime::ZERO);
 
         let end = SimTime::ZERO + self.duration;
-        sim.run_until(end);
+        if let Some(map) = &self.region_map {
+            sim.run_parallel_with_map(end, map);
+        } else if self.regions > 1 {
+            sim.run_parallel(end, self.regions);
+        } else {
+            sim.run_until(end);
+        }
 
         // Order-sensitive digest of the full capture stream: two runs of
         // the same scenario + seed must produce the same hash (the
@@ -259,11 +296,11 @@ impl Scenario {
         let sampler = ThroughputSampler::from_records(
             sim.captures(),
             &SamplerConfig::tshark_like(dst, self.sample_bin, end)
-                .with_tags((0..self.paths.len()).map(|i| Tag(1 + i as u16))),
+                .with_tags((0..self.paths.len()).map(Self::path_tag)),
         );
         let per_path: Vec<TimeSeries> = (0..self.paths.len())
             .map(|i| {
-                let tag = Tag(1 + i as u16);
+                let tag = Self::path_tag(i);
                 let mut s = sampler
                     .tag(tag)
                     // simlint: allow(unwrap, reason = "every path tag was pre-seeded into the sampler above")

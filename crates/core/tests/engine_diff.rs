@@ -81,6 +81,51 @@ fn faulted_failover_is_engine_independent() {
     }
 }
 
+/// Serial, 2-region, and 4-region partitioned runs of one scenario must be
+/// observationally identical (trace hash, counts, series).
+fn assert_regions_agree(build: impl Fn() -> Scenario) {
+    let serial = build().run();
+    for regions in [2usize, 4] {
+        let sharded = build().with_regions(regions).run();
+        let report = compare_runs(&serial, &sharded);
+        assert!(
+            report.is_deterministic(),
+            "serial vs {regions}-region diverged: {}",
+            report.mismatches().join("; ")
+        );
+        assert_eq!(
+            serial.trace_hash, sharded.trace_hash,
+            "{regions}-region trace hash mismatch"
+        );
+        assert_eq!(
+            serial.events, sharded.events,
+            "{regions}-region event count mismatch"
+        );
+    }
+}
+
+#[test]
+fn all_five_algorithms_are_region_independent() {
+    for algo in [
+        CcAlgo::Cubic,
+        CcAlgo::Lia,
+        CcAlgo::Olia,
+        CcAlgo::Balia,
+        CcAlgo::WVegas,
+    ] {
+        assert_regions_agree(|| paper(algo, 1, QueueEngine::Wheel));
+    }
+}
+
+#[test]
+fn faulted_failover_is_region_independent() {
+    for algo in [CcAlgo::Cubic, CcAlgo::Lia] {
+        assert_regions_agree(|| {
+            failover_scenario(&FailoverSetup::paper(), algo, 1, &FailoverConfig::default())
+        });
+    }
+}
+
 #[test]
 fn parallel_heap_matches_serial_wheel() {
     // Cross both axes at once: N-worker execution of heap-engine

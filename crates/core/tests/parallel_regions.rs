@@ -1,0 +1,148 @@
+//! Region-count independence of the conservative parallel engine.
+//!
+//! The contract under test: sharding a run across regions changes *how*
+//! events execute (which thread, which queue) but not *what* executes —
+//! trace hash, event counts, and packet counts must be byte-identical to
+//! the serial run for any region count and any partition, including one
+//! that cuts the paper topology's shared bottleneck link. Unlike the
+//! `engine_diff` suite this file needs no cargo feature: it runs in every
+//! `cargo test` invocation.
+
+use overlap_core::prelude::*;
+use overlap_core::{compare_runs, Scenario};
+use proptest::prelude::*;
+
+fn random_scenario(paths: usize, gen_seed: u64, run_seed: u64) -> Scenario {
+    let net = RandomOverlapNet::generate(&RandomOverlapConfig {
+        paths,
+        seed: gen_seed,
+        ..RandomOverlapConfig::default()
+    });
+    Scenario::new(net.topology, net.paths)
+        .with_seed(run_seed)
+        .with_timing(SimDuration::from_millis(600), SimDuration::from_millis(100))
+}
+
+fn assert_identical(serial: &RunResult, sharded: &RunResult, what: &str) {
+    let report = compare_runs(serial, sharded);
+    assert!(
+        report.is_deterministic(),
+        "{what} diverged from serial: {}",
+        report.mismatches().join("; ")
+    );
+    assert_eq!(serial.trace_hash, sharded.trace_hash, "{what}: trace hash");
+    assert_eq!(serial.events, sharded.events, "{what}: events processed");
+    assert_eq!(
+        serial.events_scheduled, sharded.events_scheduled,
+        "{what}: events scheduled"
+    );
+    assert_eq!(
+        serial.events_cancelled, sharded.events_cancelled,
+        "{what}: events cancelled"
+    );
+    assert_eq!(
+        serial.packets_delivered, sharded.packets_delivered,
+        "{what}: packets delivered"
+    );
+    assert_eq!(serial.drops, sharded.drops, "{what}: drops");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random overlap topologies × random region counts: every partition
+    /// the greedy min-cut produces must reproduce the serial run exactly.
+    #[test]
+    fn random_topologies_are_region_count_independent(
+        paths in 2usize..4,
+        gen_seed in 1u64..1000,
+        run_seed in 1u64..1000,
+        regions in 1usize..5,
+    ) {
+        let serial = random_scenario(paths, gen_seed, run_seed).run();
+        let sharded = random_scenario(paths, gen_seed, run_seed)
+            .with_regions(regions)
+            .run();
+        let report = compare_runs(&serial, &sharded);
+        prop_assert!(
+            report.is_deterministic(),
+            "{} regions diverged: {}",
+            regions,
+            report.mismatches().join("; ")
+        );
+        prop_assert_eq!(serial.trace_hash, sharded.trace_hash);
+        prop_assert_eq!(serial.events, sharded.events);
+        prop_assert_eq!(serial.events_scheduled, sharded.events_scheduled);
+        prop_assert_eq!(serial.packets_delivered, sharded.packets_delivered);
+    }
+}
+
+/// Force the partition to cut the paper topology's shared bottleneck
+/// `b13` (v4→v2, the link coupling paths 1 and 3): region 0 gets
+/// `{s, v1, v4}`, region 1 gets `{v2, v3, d}`. The cut crosses both the
+/// shared bottleneck and path 2's exclusive `v1→v3` link, so MPTCP data
+/// and ACKs of every subflow stream across the region boundary.
+#[test]
+fn cutting_the_papers_shared_bottleneck_is_exact() {
+    let build = || {
+        let net = PaperNetwork::new();
+        Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_timing(SimDuration::from_secs(2), SimDuration::from_millis(100))
+    };
+    let serial = build().run();
+    // Node ids in construction order: s=0, v1=1, v2=2, v3=3, v4=4, d=5.
+    let sharded = build().with_region_map(vec![0, 0, 1, 1, 0, 1]).run();
+    assert_identical(&serial, &sharded, "bottleneck-cut partition");
+}
+
+/// The same forced cut, under every congestion-control algorithm.
+#[test]
+fn bottleneck_cut_holds_for_all_algorithms() {
+    for algo in [
+        CcAlgo::Cubic,
+        CcAlgo::Lia,
+        CcAlgo::Olia,
+        CcAlgo::Balia,
+        CcAlgo::WVegas,
+    ] {
+        let build = || {
+            let net = PaperNetwork::new();
+            Scenario {
+                default_path: net.default_path,
+                ..Scenario::new(net.topology, net.paths)
+            }
+            .with_algo(algo)
+            .with_timing(SimDuration::from_secs(1), SimDuration::from_millis(100))
+        };
+        let serial = build().run();
+        let sharded = build().with_region_map(vec![0, 0, 1, 1, 0, 1]).run();
+        assert_identical(&serial, &sharded, &format!("{algo:?} bottleneck cut"));
+    }
+}
+
+/// A faulted run (outage of the shared bottleneck itself — a fault on a
+/// *cut* link, duplicated into both endpoint regions) stays exact.
+#[test]
+fn faulted_cut_link_outage_is_exact() {
+    use netsim::{FaultSchedule, LinkId};
+    let build = || {
+        let net = PaperNetwork::new();
+        let faults = FaultSchedule::new().outage(
+            LinkId(1), // b13: v4→v2, the shared bottleneck being cut
+            SimTime::from_millis(400),
+            SimTime::from_millis(900),
+        );
+        Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_faults(faults)
+        .with_timing(SimDuration::from_secs(2), SimDuration::from_millis(100))
+    };
+    let serial = build().run();
+    let sharded = build().with_region_map(vec![0, 0, 1, 1, 0, 1]).run();
+    assert_identical(&serial, &sharded, "faulted bottleneck-cut partition");
+}

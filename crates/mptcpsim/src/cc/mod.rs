@@ -15,8 +15,10 @@
 //!
 //! Architecturally each subflow owns a [`CoupledCc`] implementing
 //! `tcpsim::CongestionControl`; the coupled algorithms read their siblings'
-//! windows and RTTs through a shared [`CoupleState`] (an `Rc<RefCell<_>>` —
-//! the simulator is single-threaded). Slow start, loss response, and RTO
+//! windows and RTTs through a shared [`CoupleState`] (an `Arc<Mutex<_>>`, so
+//! a connection's subflows stay coupled when the simulator shards a run
+//! across region threads; the lock is only ever contended by subflows of
+//! one agent, which live on one thread). Slow start, loss response, and RTO
 //! handling are per-subflow and standard (as in the Linux MPTCP
 //! implementation); only the congestion-avoidance *increase* is coupled.
 
@@ -25,9 +27,20 @@ pub mod lia;
 pub mod olia;
 pub mod wvegas;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
 use tcpsim::cc::{min_cwnd, AckContext, CongestionControl, Cubic, LossContext, Reno};
+
+/// Lock the shared coupling state. The mutex is uncontended by design —
+/// every subflow of a connection runs on the connection's thread — so a
+/// poisoned lock means a sibling subflow panicked mid-update and the
+/// coupled state is unusable.
+pub(crate) fn lock_state(
+    state: &Arc<Mutex<CoupleState>>,
+) -> std::sync::MutexGuard<'_, CoupleState> {
+    // simlint: allow(unwrap, reason = "poisoned coupling state cannot be recovered; propagate the sibling's panic")
+    state.lock().expect("coupling state poisoned")
+}
 
 /// Which congestion-control configuration an MPTCP connection runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,7 +145,7 @@ impl CoupleState {
 /// Handle used to create per-subflow controllers sharing one state.
 #[derive(Debug, Clone, Default)]
 pub struct Coupling {
-    state: Rc<RefCell<CoupleState>>,
+    state: Arc<Mutex<CoupleState>>,
 }
 
 impl Coupling {
@@ -142,15 +155,15 @@ impl Coupling {
     }
 
     /// Read access to the shared state (for reports).
-    pub fn state(&self) -> std::cell::Ref<'_, CoupleState> {
-        self.state.borrow()
+    pub fn state(&self) -> std::sync::MutexGuard<'_, CoupleState> {
+        lock_state(&self.state)
     }
 
     /// Build the controller for the next subflow. Must be called in subflow
     /// id order (0, 1, 2, …).
     pub fn make_cc(&self, algo: CcAlgo, initial_cwnd: u64, mss: u32) -> Box<dyn CongestionControl> {
         let idx = {
-            let mut st = self.state.borrow_mut();
+            let mut st = lock_state(&self.state);
             st.subs.push(SubState::new(initial_cwnd, mss));
             st.subs.len() - 1
         };
@@ -180,14 +193,14 @@ impl Coupling {
 impl Coupling {
     /// Test helper: set the "bytes since last loss" estimate directly.
     pub(crate) fn set_l_for_test(&self, idx: usize, l: f64) {
-        let mut st = self.state.borrow_mut();
+        let mut st = lock_state(&self.state);
         st.subs[idx].bytes_since_loss = l;
         st.subs[idx].bytes_between_losses = 0.0;
     }
 
     /// Test helper: set both loss-interval estimates.
     pub(crate) fn set_intervals_for_test(&self, idx: usize, since: f64, between: f64) {
-        let mut st = self.state.borrow_mut();
+        let mut st = lock_state(&self.state);
         st.subs[idx].bytes_since_loss = since;
         st.subs[idx].bytes_between_losses = between;
     }
@@ -199,17 +212,17 @@ impl Coupling {
 #[derive(Debug)]
 struct Mirrored<C: CongestionControl> {
     inner: C,
-    shared: Rc<RefCell<CoupleState>>,
+    shared: Arc<Mutex<CoupleState>>,
     idx: usize,
 }
 
 impl<C: CongestionControl> Mirrored<C> {
-    fn new(inner: C, shared: Rc<RefCell<CoupleState>>, idx: usize) -> Self {
+    fn new(inner: C, shared: Arc<Mutex<CoupleState>>, idx: usize) -> Self {
         Mirrored { inner, shared, idx }
     }
 
     fn mirror(&self) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         let sub = &mut st.subs[self.idx];
         sub.cwnd = self.inner.cwnd() as f64;
         sub.ssthresh = if self.inner.ssthresh() == u64::MAX {
@@ -223,10 +236,10 @@ impl<C: CongestionControl> Mirrored<C> {
 impl<C: CongestionControl> CongestionControl for Mirrored<C> {
     fn on_ack(&mut self, ctx: &AckContext) {
         if let Some(srtt) = ctx.srtt {
-            self.shared.borrow_mut().subs[self.idx].srtt = srtt.as_secs_f64().max(1e-6);
+            lock_state(&self.shared).subs[self.idx].srtt = srtt.as_secs_f64().max(1e-6);
         }
         {
-            let mut st = self.shared.borrow_mut();
+            let mut st = lock_state(&self.shared);
             st.subs[self.idx].bytes_since_loss += ctx.bytes_acked as f64;
         }
         self.inner.on_ack(ctx);
@@ -235,7 +248,7 @@ impl<C: CongestionControl> CongestionControl for Mirrored<C> {
 
     fn on_loss_event(&mut self, ctx: &LossContext) {
         {
-            let mut st = self.shared.borrow_mut();
+            let mut st = lock_state(&self.shared);
             let sub = &mut st.subs[self.idx];
             sub.bytes_between_losses = sub.bytes_since_loss;
             sub.bytes_since_loss = 0.0;
@@ -246,7 +259,7 @@ impl<C: CongestionControl> CongestionControl for Mirrored<C> {
 
     fn on_rto(&mut self, ctx: &LossContext) {
         {
-            let mut st = self.shared.borrow_mut();
+            let mut st = lock_state(&self.shared);
             let sub = &mut st.subs[self.idx];
             sub.bytes_between_losses = sub.bytes_since_loss;
             sub.bytes_since_loss = 0.0;
@@ -272,7 +285,7 @@ impl<C: CongestionControl> CongestionControl for Mirrored<C> {
 /// congestion-avoidance increase per [`CcAlgo`].
 #[derive(Debug)]
 pub struct CoupledCc {
-    shared: Rc<RefCell<CoupleState>>,
+    shared: Arc<Mutex<CoupleState>>,
     idx: usize,
     algo: CcAlgo,
     mss: u32,
@@ -280,7 +293,7 @@ pub struct CoupledCc {
 
 impl CongestionControl for CoupledCc {
     fn on_ack(&mut self, ctx: &AckContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         if let Some(srtt) = ctx.srtt {
             st.subs[self.idx].srtt = srtt.as_secs_f64().max(1e-6);
         }
@@ -308,7 +321,7 @@ impl CongestionControl for CoupledCc {
     }
 
     fn on_loss_event(&mut self, ctx: &LossContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         let decrease = match self.algo {
             CcAlgo::Balia => balia::decrease(&st, self.idx),
             // LIA and OLIA halve the subflow window (RFC 6356 §3; the
@@ -327,7 +340,7 @@ impl CongestionControl for CoupledCc {
     }
 
     fn on_rto(&mut self, ctx: &LossContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         let sub = &mut st.subs[self.idx];
         sub.bytes_between_losses = sub.bytes_since_loss;
         sub.bytes_since_loss = 0.0;
@@ -336,12 +349,12 @@ impl CongestionControl for CoupledCc {
     }
 
     fn cwnd(&self) -> u64 {
-        let st = self.shared.borrow();
+        let st = lock_state(&self.shared);
         st.subs[self.idx].cwnd.max(self.mss as f64) as u64
     }
 
     fn ssthresh(&self) -> u64 {
-        let st = self.shared.borrow();
+        let st = lock_state(&self.shared);
         let v = st.subs[self.idx].ssthresh;
         if v.is_finite() {
             v as u64
@@ -373,7 +386,7 @@ pub(crate) mod testutil {
             let cc = coupling.make_cc(algo, (w_mss * MSS as f64) as u64, MSS);
             ccs.push(cc);
             let idx = ccs.len() - 1;
-            let mut st = coupling.state.borrow_mut();
+            let mut st = lock_state(&coupling.state);
             st.subs[idx].srtt = rtt_ms / 1000.0;
             st.subs[idx].ssthresh = 1.0; // force congestion avoidance
         }

@@ -15,10 +15,10 @@
 //! mechanics whose target band is re-weighted from the shared state once
 //! per RTT.
 
-use super::{CoupleState, SubState};
+use super::{lock_state, CoupleState, SubState};
 use simbase::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
 use tcpsim::cc::{min_cwnd, AckContext, CongestionControl, LossContext};
 
 /// Connection-wide target queue occupancy, packets (the ICNP paper uses a
@@ -42,7 +42,7 @@ pub fn weighted_alpha(st: &CoupleState, idx: usize) -> f64 {
 /// The coupled weighted-Vegas controller for one subflow.
 #[derive(Debug)]
 pub struct WVegasCc {
-    shared: Rc<RefCell<CoupleState>>,
+    shared: Arc<Mutex<CoupleState>>,
     idx: usize,
     mss: u32,
     /// Next instant an adjustment decision is allowed (once per RTT).
@@ -52,7 +52,7 @@ pub struct WVegasCc {
 impl WVegasCc {
     /// Create the controller for subflow `idx` (the shared entry must
     /// already exist).
-    pub fn new(shared: Rc<RefCell<CoupleState>>, idx: usize, mss: u32) -> Self {
+    pub fn new(shared: Arc<Mutex<CoupleState>>, idx: usize, mss: u32) -> Self {
         WVegasCc {
             shared,
             idx,
@@ -74,7 +74,7 @@ impl WVegasCc {
 
 impl CongestionControl for WVegasCc {
     fn on_ack(&mut self, ctx: &AckContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         if let Some(srtt) = ctx.srtt {
             st.subs[self.idx].srtt = srtt.as_secs_f64().max(1e-6);
         }
@@ -115,7 +115,7 @@ impl CongestionControl for WVegasCc {
     }
 
     fn on_loss_event(&mut self, ctx: &LossContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         let sub = &mut st.subs[self.idx];
         sub.bytes_between_losses = sub.bytes_since_loss;
         sub.bytes_since_loss = 0.0;
@@ -125,7 +125,7 @@ impl CongestionControl for WVegasCc {
     }
 
     fn on_rto(&mut self, ctx: &LossContext) {
-        let mut st = self.shared.borrow_mut();
+        let mut st = lock_state(&self.shared);
         let sub = &mut st.subs[self.idx];
         sub.bytes_between_losses = sub.bytes_since_loss;
         sub.bytes_since_loss = 0.0;
@@ -134,12 +134,12 @@ impl CongestionControl for WVegasCc {
     }
 
     fn cwnd(&self) -> u64 {
-        let st = self.shared.borrow();
+        let st = lock_state(&self.shared);
         st.subs[self.idx].cwnd.max(self.mss as f64) as u64
     }
 
     fn ssthresh(&self) -> u64 {
-        let st = self.shared.borrow();
+        let st = lock_state(&self.shared);
         let v = st.subs[self.idx].ssthresh;
         if v.is_finite() {
             v as u64

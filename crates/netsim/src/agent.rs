@@ -24,7 +24,10 @@ impl fmt::Debug for AgentId {
 }
 
 /// An endpoint protocol stack attached to a node.
-pub trait Agent {
+///
+/// `Send` because a partitioned run moves each agent (whole) onto its
+/// region's worker thread; agents are never shared between threads.
+pub trait Agent: Send {
     /// Called once at the agent's configured start time.
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let _ = ctx;
@@ -78,8 +81,10 @@ pub struct Ctx<'a> {
     now: SimTime,
     node: NodeId,
     agent: AgentId,
-    /// Deterministic per-simulation RNG (shared by all agents; determinism
-    /// comes from deterministic event ordering).
+    /// Deterministic RNG stream. The simulator hands each agent its own
+    /// stream (derived from the run seed and the agent id), so an agent's
+    /// draws depend only on its own call sequence — never on how agent
+    /// callbacks interleave across the network or across regions.
     pub rng: &'a mut Xoshiro256StarStar,
     /// The simulation-wide event log.
     pub log: &'a mut EventLog,

@@ -1,0 +1,377 @@
+//! Topology partitioning for the conservative parallel engine.
+//!
+//! [`partition_topology`] splits a [`Topology`] into regions by greedy
+//! min-cut contraction: repeatedly merge the two components joined by the
+//! cheapest remaining link — cheapest meaning smallest *effective* delay,
+//! because a cut link's delay is exactly the synchronization lookahead the
+//! parallel engine gets from it. Ties break by merged component size (to
+//! keep regions balanced) and then by link id, so the partition is a pure
+//! function of (topology, delay floors, region count).
+//!
+//! Links whose effective delay can reach zero carry no lookahead at all and
+//! are co-located unconditionally before the greedy phase — a zero-delay
+//! cut link would force a zero-width synchronization window (see
+//! DESIGN.md §11).
+
+use crate::packet::{LinkId, NodeId};
+use crate::topology::Topology;
+use simbase::SimDuration;
+
+/// A region assignment for every node, plus the cut structure that the
+/// conservative synchronization protocol needs.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Number of regions actually produced (≤ the requested count; a
+    /// topology with few components to offer may not split that far).
+    pub regions: u32,
+    /// Region of each node, indexed by `NodeId`.
+    pub node_region: Vec<u32>,
+    /// Links whose endpoints landed in different regions.
+    pub cut_links: Vec<LinkId>,
+    /// The conservative lookahead: the minimum effective delay over
+    /// `cut_links`. `None` when nothing is cut (single region, or the
+    /// regions are disconnected components) — synchronization is then
+    /// unnecessary and any window width is safe.
+    pub lookahead: Option<SimDuration>,
+}
+
+/// Deterministic disjoint-set forest (path halving + size union with
+/// smallest-root tie-break, so the outcome is independent of query order).
+struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(), // simlint: allow(truncating-cast, reason = "n is a node count and NodeId is u32, so n fits")
+            size: vec![1; n],
+        }
+    }
+
+    // Every index below is a node id (or a root, which is also a node id)
+    // strictly below the `n` both vectors were built with.
+    fn find(&mut self, mut x: u32) -> u32 {
+        // simlint: allow(panic-surface, reason = "x is a node id below the n the forest was built with")
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize]; // simlint: allow(panic-surface, reason = "parent entries are themselves node ids below n")
+            self.parent[x as usize] = gp; // simlint: allow(panic-surface, reason = "x is a node id below the n the forest was built with")
+            x = gp;
+        }
+        x
+    }
+
+    fn size_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize] // simlint: allow(panic-surface, reason = "find returns a node id below the n the forest was built with")
+    }
+
+    /// Union by size; equal sizes keep the smaller root (determinism).
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // simlint: allow(panic-surface, reason = "find returns a node id below the n the forest was built with")
+        let (big, small) = match self.size[ra as usize].cmp(&self.size[rb as usize]) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            std::cmp::Ordering::Equal => (ra.min(rb), ra.max(rb)),
+        };
+        self.parent[small as usize] = big; // simlint: allow(panic-surface, reason = "find returns a node id below the n the forest was built with")
+        self.size[big as usize] += self.size[small as usize]; // simlint: allow(panic-surface, reason = "find returns a node id below the n the forest was built with")
+        true
+    }
+}
+
+/// Partition `topo` into up to `want` regions, given the *effective
+/// minimum* delay each link can take over the run (`delay_floor[l]` — the
+/// static delay lowered by any `SetDelay` fault targeting `l`).
+///
+/// Zero-floor links are contracted first; the greedy phase then merges the
+/// cheapest remaining links until `want` components are left. Region ids
+/// are assigned by each region's smallest node id, so the numbering is
+/// stable under re-partitioning.
+pub fn partition_topology(topo: &Topology, want: usize, delay_floor: &[SimDuration]) -> Partition {
+    // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+    assert_eq!(
+        delay_floor.len(),
+        topo.link_count(),
+        "one delay floor per link"
+    );
+    let n = topo.node_count();
+    let want = want.max(1);
+    let mut dsu = Dsu::new(n);
+    let mut components = n as u32; // simlint: allow(truncating-cast, reason = "node count fits u32: NodeId is u32")
+
+    // Phase 1: co-locate zero-lookahead links unconditionally.
+    for l in topo.link_ids() {
+        // simlint: allow(panic-surface, reason = "one floor per link, checked by the assert above")
+        if delay_floor[l.0 as usize].is_zero() {
+            let spec = topo.link(l);
+            if dsu.union(spec.a.0, spec.b.0) {
+                components -= 1;
+            }
+        }
+    }
+
+    // Phase 2: greedy contraction. Each round merges the live link with the
+    // smallest (floor delay, merged size, link id) key. O(rounds × links) —
+    // partitioning runs once per simulation, on topologies of at most a few
+    // thousand links.
+    while components as usize > want {
+        let mut best: Option<(SimDuration, u32, LinkId)> = None;
+        for l in topo.link_ids() {
+            let spec = topo.link(l);
+            if dsu.find(spec.a.0) == dsu.find(spec.b.0) {
+                continue;
+            }
+            let merged = dsu.size_of(spec.a.0) + dsu.size_of(spec.b.0);
+            let key = (delay_floor[l.0 as usize], merged, l); // simlint: allow(panic-surface, reason = "one floor per link, checked on entry")
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, l)) = best else {
+            break; // disconnected: fewer mergeable components than asked
+        };
+        let spec = topo.link(l);
+        dsu.union(spec.a.0, spec.b.0);
+        components -= 1;
+    }
+
+    // Region ids ordered by each component's smallest node id.
+    let mut roots: Vec<u32> = topo.node_ids().map(|nd| dsu.find(nd.0)).collect();
+    let mut region_of_root = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for root in roots.iter_mut() {
+        let r = *root as usize;
+        // simlint: allow(panic-surface, reason = "a root is a node id below n")
+        if region_of_root[r] == u32::MAX {
+            region_of_root[r] = next; // simlint: allow(panic-surface, reason = "a root is a node id below n")
+            next += 1;
+        }
+        *root = region_of_root[r]; // simlint: allow(panic-surface, reason = "a root is a node id below n")
+    }
+    let node_region = roots;
+
+    let cut_links: Vec<LinkId> = topo
+        .link_ids()
+        .filter(|&l| {
+            let spec = topo.link(l);
+            node_region[spec.a.0 as usize] != node_region[spec.b.0 as usize] // simlint: allow(panic-surface, reason = "node_region has one entry per node and link endpoints are topology nodes")
+        })
+        .collect();
+    let lookahead = cut_links
+        .iter()
+        .map(|&l| delay_floor[l.0 as usize]) // simlint: allow(panic-surface, reason = "one floor per link, checked on entry")
+        .min();
+    if let Some(la) = lookahead {
+        // simlint: allow(panic-surface, reason = "documented invariant, checked at partition time before the run starts")
+        assert!(
+            !la.is_zero(),
+            "zero-delay cut link survived co-location; partitioning bug"
+        );
+    }
+    Partition {
+        regions: next,
+        node_region,
+        cut_links,
+        lookahead,
+    }
+}
+
+/// Build a [`Partition`] from an explicit node→region map (tests and
+/// experiments that want to force a particular cut — e.g. through a shared
+/// bottleneck — rather than take the greedy min-cut).
+///
+/// Panics if the map's length does not match the topology, if region ids
+/// are not dense (`0..regions`), or if it cuts a link whose delay floor is
+/// zero — such a cut has no lookahead and cannot be synchronized.
+pub fn partition_from_map(
+    topo: &Topology,
+    node_region: &[u32],
+    delay_floor: &[SimDuration],
+) -> Partition {
+    assert_eq!(node_region.len(), topo.node_count(), "one region per node"); // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+                                                                             // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+    assert_eq!(
+        delay_floor.len(),
+        topo.link_count(),
+        "one delay floor per link"
+    );
+    let regions = node_region.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(regions > 0, "empty region map"); // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+    let mut seen = vec![false; regions as usize];
+    for &r in node_region {
+        seen[r as usize] = true; // simlint: allow(panic-surface, reason = "regions is the map's maximum plus one, so every id fits")
+    }
+    // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+    assert!(
+        seen.iter().all(|&s| s),
+        "region ids must be dense 0..regions"
+    );
+    let cut_links: Vec<LinkId> = topo
+        .link_ids()
+        .filter(|&l| {
+            let spec = topo.link(l);
+            node_region[spec.a.0 as usize] != node_region[spec.b.0 as usize] // simlint: allow(panic-surface, reason = "length checked against the node count on entry")
+        })
+        .collect();
+    for &l in &cut_links {
+        // simlint: allow(panic-surface, reason = "argument validation at partition time, before the run starts")
+        assert!(
+            !delay_floor[l.0 as usize].is_zero(), // simlint: allow(panic-surface, reason = "one floor per link, checked on entry")
+            "region map cuts zero-delay {l:?}: no lookahead on that edge"
+        );
+    }
+    let lookahead = cut_links.iter().map(|&l| delay_floor[l.0 as usize]).min(); // simlint: allow(panic-surface, reason = "one floor per link, checked on entry")
+    Partition {
+        regions,
+        node_region: node_region.to_vec(),
+        cut_links,
+        lookahead,
+    }
+}
+
+/// The static delay floors of a topology (no faults): each link's
+/// configured propagation delay.
+pub fn static_delay_floors(topo: &Topology) -> Vec<SimDuration> {
+    topo.link_ids().map(|l| topo.link(l).delay).collect()
+}
+
+impl Partition {
+    /// The region of `node`.
+    pub fn region_of(&self, node: NodeId) -> u32 {
+        self.node_region[node.0 as usize] // simlint: allow(panic-surface, reason = "the partition was built over this topology, one entry per node")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+    use simbase::Bandwidth;
+
+    /// A 6-node chain with a slow middle link: a -1ms- b -1ms- c -5ms- d -1ms- e -1ms- f.
+    fn chain() -> Topology {
+        let mut t = Topology::new();
+        let ids: Vec<NodeId> = (0..6).map(|i| t.add_node(format!("n{i}"))).collect();
+        let delays = [1, 1, 5, 1, 1];
+        for (i, &ms) in delays.iter().enumerate() {
+            t.add_link(
+                ids[i],
+                ids[i + 1],
+                Bandwidth::from_mbps(100),
+                SimDuration::from_millis(ms),
+                QueueConfig::default(),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn two_regions_cut_the_slowest_link() {
+        let t = chain();
+        let p = partition_topology(&t, 2, &static_delay_floors(&t));
+        assert_eq!(p.regions, 2);
+        assert_eq!(p.cut_links, vec![LinkId(2)]);
+        assert_eq!(p.lookahead, Some(SimDuration::from_millis(5)));
+        // Halves: {a,b,c} and {d,e,f}, numbered by smallest node id.
+        assert_eq!(p.node_region, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn one_region_cuts_nothing() {
+        let t = chain();
+        let p = partition_topology(&t, 1, &static_delay_floors(&t));
+        assert_eq!(p.regions, 1);
+        assert!(p.cut_links.is_empty());
+        assert_eq!(p.lookahead, None);
+    }
+
+    #[test]
+    fn region_count_is_clamped_to_what_exists() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(
+            a,
+            b,
+            Bandwidth::from_mbps(10),
+            SimDuration::from_millis(1),
+            QueueConfig::default(),
+        );
+        let p = partition_topology(&t, 4, &static_delay_floors(&t));
+        assert_eq!(p.regions, 2, "two nodes can make at most two regions");
+    }
+
+    #[test]
+    fn zero_floor_links_are_co_located() {
+        let t = chain();
+        // A fault schedule drops link 2's delay to zero mid-run: it can no
+        // longer be cut, so the partitioner must cut elsewhere.
+        let mut floors = static_delay_floors(&t);
+        floors[2] = SimDuration::ZERO;
+        let p = partition_topology(&t, 2, &floors);
+        assert_eq!(p.regions, 2);
+        assert!(
+            !p.cut_links.contains(&LinkId(2)),
+            "zero-floor link must not be cut; got {:?}",
+            p.cut_links
+        );
+        assert!(p.lookahead.is_some_and(|l| !l.is_zero()));
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let t = chain();
+        let floors = static_delay_floors(&t);
+        let a = partition_topology(&t, 3, &floors);
+        let b = partition_topology(&t, 3, &floors);
+        assert_eq!(a.node_region, b.node_region);
+        assert_eq!(a.cut_links, b.cut_links);
+    }
+
+    #[test]
+    fn explicit_map_reports_its_cut() {
+        let t = chain();
+        let map = [0, 0, 1, 1, 1, 1];
+        let p = partition_from_map(&t, &map, &static_delay_floors(&t));
+        assert_eq!(p.regions, 2);
+        assert_eq!(p.cut_links, vec![LinkId(1)]);
+        assert_eq!(p.lookahead, Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no lookahead")]
+    fn explicit_map_rejects_zero_delay_cuts() {
+        let t = chain();
+        let mut floors = static_delay_floors(&t);
+        floors[1] = SimDuration::ZERO;
+        let _ = partition_from_map(&t, &[0, 0, 1, 1, 1, 1], &floors);
+    }
+
+    #[test]
+    fn disconnected_components_partition_without_cuts() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let d = t.add_node("d");
+        for (x, y) in [(a, b), (c, d)] {
+            t.add_link(
+                x,
+                y,
+                Bandwidth::from_mbps(10),
+                SimDuration::from_millis(1),
+                QueueConfig::default(),
+            );
+        }
+        let p = partition_topology(&t, 2, &static_delay_floors(&t));
+        assert_eq!(p.regions, 2);
+        assert!(p.cut_links.is_empty());
+        assert_eq!(p.lookahead, None);
+    }
+}

@@ -14,16 +14,77 @@
 //! direction has an independent transmitter and drop-tail/RED queue.
 //! Serialization time is `wire_size / capacity` (exact integer arithmetic),
 //! after which the packet spends the link's propagation delay in flight.
+//!
+//! # Schedule-independent ordering
+//!
+//! Events at equal times are ordered by a *canonical key* rather than push
+//! order (see [`order`]), and every random draw comes from a per-entity
+//! stream (one per link direction, one per agent) rather than a global
+//! generator. Both choices make the execution a pure function of the event
+//! set — independent of the order events happened to be scheduled in — which
+//! is what lets [`Simulator::run_parallel`] shard a run across regions and
+//! still produce a byte-identical trace.
 
 use crate::agent::{Agent, AgentId, Ctx, Effect};
 use crate::capture::{CaptureConfig, CaptureKind, CaptureRecord};
 use crate::faults::{FaultAction, FaultSchedule};
-use crate::packet::{Dir, LinkId, NodeId, Packet};
+use crate::packet::{Dir, LinkId, NodeId, Packet, PacketMeta};
 use crate::queue::{EnqueueResult, Queue};
 use crate::routing::RoutingTables;
 use crate::stats::{LinkDirStats, SimStats};
 use crate::topology::Topology;
-use simbase::{EventLog, EventQueue, LogLevel, SimDuration, SimRng, SimTime, Xoshiro256StarStar};
+use simbase::{
+    EventLog, EventQueue, LogLevel, SimDuration, SimRng, SimTime, SplitMix64, Xoshiro256StarStar,
+};
+
+mod parallel;
+
+/// Canonical event-ordering keys.
+///
+/// Two events scheduled for the same instant pop in key order, not push
+/// order. The key packs `[class:3][entity:25][local:36]`:
+///
+/// * `class` — fault (0), agent start (1), TxDone (2), Arrive (3),
+///   timer (4); ties between unrelated event kinds resolve by kind.
+/// * `entity` — the link direction (`link * 2 + dir`) or agent the event
+///   belongs to.
+/// * `local` — a per-entity discriminator: the direction's transmission
+///   epoch (TxDone), a per-direction arrival counter (Arrive), the agent's
+///   timer token (Timer), or a fault-schedule install index (Fault).
+///
+/// Every *live* key is unique at its timestamp: arrival counters and fault
+/// indices never repeat, an agent re-arming a timer token cancels the old
+/// event first, and a direction serializes at most one packet at a time
+/// (serialization takes ≥ 1 ns, so equal-time TxDones on one direction
+/// cannot both be live).
+pub(crate) mod order {
+    /// Network mutations apply before anything else at the same instant.
+    pub const CLASS_FAULT: u64 = 0;
+    /// Agent start hooks.
+    pub const CLASS_START: u64 = 1;
+    /// Serialization completions.
+    pub const CLASS_TX_DONE: u64 = 2;
+    /// Propagation completions.
+    pub const CLASS_ARRIVE: u64 = 3;
+    /// Agent timers fire last at an instant.
+    pub const CLASS_TIMER: u64 = 4;
+
+    const ENTITY_BITS: u32 = 25;
+    const LOCAL_BITS: u32 = 36;
+
+    /// Pack a canonical key. Panics if a field overflows its budget —
+    /// silently wrapping would corrupt the event order.
+    pub fn pack(class: u64, entity: u64, local: u64) -> u64 {
+        assert!(entity < 1 << ENTITY_BITS, "canonical-key entity overflow");
+        assert!(local < 1 << LOCAL_BITS, "canonical-key local overflow");
+        (class << (ENTITY_BITS + LOCAL_BITS)) | (entity << LOCAL_BITS) | local
+    }
+
+    /// The entity index of one link direction.
+    pub fn dir_entity(link: crate::packet::LinkId, dir: crate::packet::Dir) -> u64 {
+        (link.0 as u64) * 2 + dir.index() as u64
+    }
+}
 
 /// Simulator events.
 #[derive(Debug)]
@@ -78,6 +139,18 @@ struct LinkRuntime {
     up: bool,
 }
 
+/// RNG stream labels for [`SplitMix64::derive`]: one independent stream
+/// per agent and per link direction, so a random draw depends only on the
+/// entity making it — never on what the rest of the network did first.
+const STREAM_AGENT: u64 = 1 << 32;
+const STREAM_DIR: u64 = 2 << 32;
+
+/// Per-agent packet ids live in the upper bits: agent `a`'s packets are
+/// `(a << PACKET_ID_SHIFT) + n`. 2^40 packets per agent is unreachable in
+/// practice, and the namespacing keeps ids identical however a run is
+/// partitioned.
+const PACKET_ID_SHIFT: u32 = 40;
+
 /// The packet-level network simulator.
 pub struct Simulator {
     topo: Topology,
@@ -88,16 +161,38 @@ pub struct Simulator {
     node_agent: Vec<Option<AgentId>>,
     events: EventQueue<Event>,
     now: SimTime,
-    rng: Xoshiro256StarStar,
+    /// The run's root seed; every per-entity stream derives from it.
+    seed: u64,
+    /// Per-agent RNG streams (handed to `Ctx::rng`).
+    agent_rngs: Vec<Xoshiro256StarStar>,
+    /// Per-link-direction RNG streams (queue AQM draws, corruption loss,
+    /// forwarding jitter), indexed like `links`.
+    dir_rngs: Vec<[Xoshiro256StarStar; 2]>,
+    /// Per-agent packet-id counters (see `PACKET_ID_SHIFT`).
+    agent_packet_seq: Vec<u64>,
+    /// Per-link-direction count of arrivals scheduled — the `local` part of
+    /// each `Arrive` event's canonical key.
+    arrive_seq: Vec<[u64; 2]>,
+    /// Faults installed so far — the `local` part of fault keys.
+    fault_seq: u64,
     /// Simulation-wide event log (agents write through `Ctx`).
     pub log: EventLog,
     capture_cfg: CaptureConfig,
     captures: Vec<CaptureRecord>,
+    /// Per-record provenance stamp `(event key, intra-event index)`,
+    /// parallel to `captures`: the canonical position of the record in the
+    /// run, used to merge region capture streams into serial order.
+    capture_ord: Vec<(u64, u32)>,
+    /// Canonical key of the event currently being executed.
+    cur_key: u64,
+    /// Capture records emitted so far by the current event.
+    cur_sub: u32,
     stats: SimStats,
     link_stats: Vec<[LinkDirStats; 2]>,
-    next_packet_id: u64,
     /// Packets currently inside the network (queued, serializing, flying).
-    in_flight: u64,
+    /// Signed: a region of a partitioned run can deliver more packets than
+    /// it sourced; only the sum over regions must be non-negative.
+    in_flight: i64,
     /// Pending timers per agent: `(agent token, queue cancellation token)`
     /// pairs, linear-scanned (an agent arms a handful of timers at most).
     /// Arming an already-armed `(agent, token)` cancels the old deadline
@@ -116,6 +211,19 @@ pub struct Simulator {
     /// propagation leg (models kernel/switch processing noise; zero by
     /// default so timing tests stay exact).
     forward_jitter: SimDuration,
+    /// Adjustments folded in by a parallel run's merge step: region queues
+    /// did the real scheduling, and duplicated fault copies must not be
+    /// double-counted. Zero on the serial path.
+    extra_scheduled: i64,
+    extra_cancelled: u64,
+    /// This simulator's region id in a partitioned run (0 when serial).
+    region: u32,
+    /// Region of every node when running as one region of a partitioned
+    /// simulation; `None` on the (default) serial path.
+    node_region: Option<Vec<u32>>,
+    /// Cross-region arrivals produced this window, one buffer per peer
+    /// region (empty and unused when serial).
+    outbox: Vec<Vec<parallel::RegionMsg>>,
 }
 
 impl Simulator {
@@ -147,6 +255,18 @@ impl Simulator {
             .map(|_| [LinkDirStats::default(); 2])
             .collect();
         let node_agent = vec![None; topo.node_count()];
+        let dir_rngs = topo
+            .link_ids()
+            .map(|l| {
+                [Dir::AtoB, Dir::BtoA].map(|d| {
+                    Xoshiro256StarStar::new(SplitMix64::derive(
+                        seed,
+                        STREAM_DIR | order::dir_entity(l, d),
+                    ))
+                })
+            })
+            .collect();
+        let arrive_seq = topo.link_ids().map(|_| [0u64; 2]).collect();
         Simulator {
             topo,
             routing,
@@ -156,19 +276,31 @@ impl Simulator {
             node_agent,
             events: EventQueue::new(),
             now: SimTime::ZERO,
-            rng: Xoshiro256StarStar::new(seed),
+            seed,
+            agent_rngs: Vec::new(),
+            dir_rngs,
+            agent_packet_seq: Vec::new(),
+            arrive_seq,
+            fault_seq: 0,
             log: EventLog::new(LogLevel::Warn),
             capture_cfg: CaptureConfig::off(),
             captures: Vec::new(),
+            capture_ord: Vec::new(),
+            cur_key: 0,
+            cur_sub: 0,
             stats: SimStats::default(),
             link_stats: Vec::new(),
-            next_packet_id: 0,
             in_flight: 0,
             timer_keys: Vec::new(),
             wire_pool: Vec::new(),
             wire_free: Vec::new(),
             effect_bufs: Vec::new(),
             forward_jitter: SimDuration::ZERO,
+            extra_scheduled: 0,
+            extra_cancelled: 0,
+            region: 0,
+            node_region: None,
+            outbox: Vec::new(),
         }
         .with_link_stats(link_stats)
     }
@@ -207,9 +339,25 @@ impl Simulator {
         self.agents.push(Some(agent));
         self.agent_node.push(node);
         self.timer_keys.push(Vec::new());
+        self.push_agent_tables(id);
         self.node_agent[node.0 as usize] = Some(id);
-        self.events.push(start, Event::StartAgent(id));
+        self.events.push_keyed(
+            start,
+            order::pack(order::CLASS_START, id.0 as u64, 0),
+            Event::StartAgent(id),
+        );
         id
+    }
+
+    /// Derive agent `id`'s RNG stream and packet-id namespace (shared by
+    /// `add_agent` and region construction, which must agree exactly).
+    fn push_agent_tables(&mut self, id: AgentId) {
+        self.agent_rngs
+            .push(Xoshiro256StarStar::new(SplitMix64::derive(
+                self.seed,
+                STREAM_AGENT | id.0 as u64,
+            )));
+        self.agent_packet_seq.push((id.0 as u64) << PACKET_ID_SHIFT);
     }
 
     /// Current simulated time.
@@ -234,14 +382,14 @@ impl Simulator {
 
     /// Counters for one direction of a link.
     pub fn link_stats(&self, link: LinkId, dir: Dir) -> &LinkDirStats {
-        &self.link_stats[link.0 as usize][dir.index()]
+        &self.link_stats[link.0 as usize][dir.index()] // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
     }
 
     /// Mutable counters for one direction of a link — the single indexing
     /// site for all per-link stat updates (`link` comes from the topology,
     /// so the bound holds by construction).
     fn dir_stats(&mut self, link: LinkId, dir: Dir) -> &mut LinkDirStats {
-        &mut self.link_stats[link.0 as usize][dir.index()]
+        &mut self.link_stats[link.0 as usize][dir.index()] // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
     }
 
     /// Park a propagating packet in the wire pool, returning its slot.
@@ -252,9 +400,7 @@ impl Simulator {
                 return i;
             }
         }
-        // Pool size is bounded by the peak in-flight packet count, far
-        // below u32::MAX; saturating would only ever alias the last slot.
-        let i = u32::try_from(self.wire_pool.len()).unwrap_or(u32::MAX);
+        let i = wire_slot_index(self.wire_pool.len());
         self.wire_pool.push(Some(pkt));
         i
     }
@@ -278,23 +424,27 @@ impl Simulator {
 
     /// Take ownership of the capture records (clears the buffer).
     pub fn take_captures(&mut self) -> Vec<CaptureRecord> {
+        self.capture_ord.clear();
         std::mem::take(&mut self.captures)
     }
 
     /// Packets currently inside the network.
     pub fn packets_in_flight(&self) -> u64 {
-        self.in_flight
+        // simlint: allow(unwrap, reason = "a negative global in-flight count is a conservation bug; fail loudly")
+        u64::try_from(self.in_flight).expect("negative in-flight packet count")
     }
 
     /// Events scheduled over the run and not cancelled (the live share).
     pub fn events_scheduled(&self) -> u64 {
-        self.events.total_pushed()
+        let n = self.events.total_pushed() as i64 + self.extra_scheduled;
+        debug_assert!(n >= 0, "negative scheduled-event count after merge");
+        n.max(0) as u64
     }
 
     /// Events cancelled before firing — the dead-event count the old lazy
     /// timer guards would have popped and ignored.
     pub fn events_cancelled(&self) -> u64 {
-        self.events.total_cancelled()
+        self.events.total_cancelled() + self.extra_cancelled
     }
 
     /// Swap the event queue for the original binary-heap reference backend
@@ -343,13 +493,17 @@ impl Simulator {
             }
             _ => {}
         }
-        self.events.push(at, Event::Fault(Box::new(action)));
+        let key = order::pack(order::CLASS_FAULT, 0, self.fault_seq);
+        self.fault_seq += 1;
+        self.events
+            .push_keyed(at, key, Event::Fault(Box::new(action)));
     }
 
     /// Install every entry of a [`FaultSchedule`] as simulator events.
-    /// Entries interleave with packet events under the deterministic
-    /// `(time, insertion)` order of the event queue, so a faulted run is a
-    /// pure function of (topology, agents, schedule, seed).
+    /// Entries interleave with packet events under the canonical
+    /// `(time, key)` order of the event queue — faults apply before any
+    /// packet event at the same instant, in install order — so a faulted
+    /// run is a pure function of (topology, agents, schedule, seed).
     pub fn install_faults(&mut self, schedule: &FaultSchedule) {
         for (at, action) in schedule.entries() {
             self.schedule_fault(*at, action.clone());
@@ -388,7 +542,7 @@ impl Simulator {
     #[cfg(feature = "check")]
     fn check_conservation(&self) {
         assert!(
-            self.stats.conserved(self.in_flight),
+            self.in_flight >= 0 && self.stats.conserved(self.in_flight as u64),
             "packet conservation violated: sent={} delivered={} dropped={} unroutable={} in_flight={}",
             self.stats.packets_sent,
             self.stats.packets_delivered,
@@ -419,6 +573,10 @@ impl Simulator {
         #[cfg(not(feature = "check"))]
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
+        // The popped seq is the event's canonical key; stamp any capture
+        // records this event emits with it.
+        self.cur_key = ev.seq;
+        self.cur_sub = 0;
         self.stats.events += 1;
         match ev.event {
             Event::StartAgent(id) => self.dispatch(id, AgentCall::Start),
@@ -512,8 +670,9 @@ impl Simulator {
                         if let Some(pkt) = deq.pkt {
                             let size = pkt.wire_size();
                             let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+                            let rng = &mut self.dir_rngs[link.0 as usize][dir.index()];
                             if let EnqueueResult::Dropped(_) =
-                                state.queue.enqueue(self.now, pkt, &mut self.rng)
+                                state.queue.enqueue(self.now, pkt, rng)
                             {
                                 lost_bytes.push(size);
                             }
@@ -589,10 +748,10 @@ impl Simulator {
                 self.now,
                 node,
                 id,
-                &mut self.rng,
+                &mut self.agent_rngs[id.0 as usize],
                 &mut self.log,
                 &mut effects,
-                &mut self.next_packet_id,
+                &mut self.agent_packet_seq[id.0 as usize],
             );
             match call {
                 AgentCall::Start => agent.on_start(&mut ctx),
@@ -618,9 +777,13 @@ impl Simulator {
                 Effect::SetTimer { at, token } => {
                     // simlint: allow(unwrap, reason = "effects originate from an agent installed at this node")
                     let agent = self.node_agent[node.0 as usize].expect("timer from unknown agent");
-                    let cancel = self
-                        .events
-                        .push_cancellable(at, Event::Timer { agent, token });
+                    // `order::pack` rejects tokens over 2^36; agents use
+                    // small enumerations plus per-subflow offsets well
+                    // below that.
+                    let key = order::pack(order::CLASS_TIMER, agent.0 as u64, token);
+                    let cancel =
+                        self.events
+                            .push_keyed_cancellable(at, key, Event::Timer { agent, token });
                     // Re-arming replaces: revoke the superseded deadline so
                     // it can never fire stale.
                     let old = self
@@ -703,13 +866,7 @@ impl Simulator {
             self.in_flight -= 1;
             self.dir_stats(link, dir).on_drop(pkt.wire_size());
             if self.capture_cfg.wants(from, CaptureKind::Dropped) {
-                self.captures.push(CaptureRecord {
-                    time: self.now,
-                    node: from,
-                    kind: CaptureKind::Dropped,
-                    link: Some(link),
-                    pkt: pkt.meta(),
-                });
+                self.record_meta(from, CaptureKind::Dropped, Some(link), pkt.meta());
             }
             return;
         }
@@ -719,11 +876,11 @@ impl Simulator {
             let tx_time = capacity.tx_time(pkt.wire_size() as u64);
             let epoch = state.epoch;
             state.transmitting = Some((pkt, tx_time));
-            self.events
-                .push(self.now + tx_time, Event::TxDone { link, dir, epoch });
+            self.push_tx_done(link, dir, epoch, self.now + tx_time);
         } else {
             let meta = pkt.meta();
-            match state.queue.enqueue(self.now, pkt, &mut self.rng) {
+            let rng = &mut self.dir_rngs[link.0 as usize][dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
+            match state.queue.enqueue(self.now, pkt, rng) {
                 EnqueueResult::Queued => {
                     let (p, b) = (state.queue.len_packets(), state.queue.len_bytes());
                     self.dir_stats(link, dir).observe_queue(p, b);
@@ -742,17 +899,18 @@ impl Simulator {
                         ),
                     );
                     if self.capture_cfg.wants(from, CaptureKind::Dropped) {
-                        self.captures.push(CaptureRecord {
-                            time: self.now,
-                            node: from,
-                            kind: CaptureKind::Dropped,
-                            link: Some(link),
-                            pkt: meta,
-                        });
+                        self.record_meta(from, CaptureKind::Dropped, Some(link), meta);
                     }
                 }
             }
         }
+    }
+
+    /// Schedule a serialization-complete event with its canonical key.
+    fn push_tx_done(&mut self, link: LinkId, dir: Dir, epoch: u64, at: SimTime) {
+        let key = order::pack(order::CLASS_TX_DONE, order::dir_entity(link, dir), epoch);
+        self.events
+            .push_keyed(at, key, Event::TxDone { link, dir, epoch });
     }
 
     fn on_tx_done(&mut self, link: LinkId, dir: Dir, epoch: u64) {
@@ -760,10 +918,14 @@ impl Simulator {
         let delay = spec.delay;
         let capacity = spec.capacity;
         let loss_rate = spec.loss_rate;
-        let state = &mut self.links[link.0 as usize].dirs[dir.index()];
-        // A link-down event may have aborted the serialization this event
-        // belongs to: the abort bumped the direction's epoch, so a stale
-        // event (old epoch, or no transmission at all) is ignored.
+        let far_end = match dir {
+            Dir::AtoB => spec.b,
+            Dir::BtoA => spec.a,
+        };
+        let state = &mut self.links[link.0 as usize].dirs[dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
+                                                                        // A link-down event may have aborted the serialization this event
+                                                                        // belongs to: the abort bumped the direction's epoch, so a stale
+                                                                        // event (old epoch, or no transmission at all) is ignored.
         if epoch != state.epoch {
             return;
         }
@@ -773,33 +935,52 @@ impl Simulator {
         // `tx_time` was fixed when the serialization started; a capacity
         // fault mid-transmission does not retroactively change it.
         self.dir_stats(link, dir).on_tx(pkt.wire_size(), tx_time);
-        // Wireless-style random corruption loss (after serialization).
-        let corrupted = loss_rate > 0.0 && self.rng.chance(loss_rate);
+        let rng = &mut self.dir_rngs[link.0 as usize][dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
+                                                                    // Wireless-style random corruption loss (after serialization).
+        let corrupted = loss_rate > 0.0 && rng.chance(loss_rate);
+        let jitter = if self.forward_jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(rng.next_below(self.forward_jitter.as_nanos() + 1))
+        };
         if corrupted {
             self.stats.packets_dropped += 1;
             self.in_flight -= 1;
             self.dir_stats(link, dir).on_drop(pkt.wire_size());
-        }
-        let jitter = if self.forward_jitter.is_zero() {
-            SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(self.rng.next_below(self.forward_jitter.as_nanos() + 1))
-        };
-        if !corrupted {
-            let wire_slot = self.wire_put(pkt);
+            let seq = &mut self.arrive_seq[link.0 as usize][dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
+            let key = order::pack(order::CLASS_ARRIVE, order::dir_entity(link, dir), *seq);
+            *seq += 1;
             let at = self.now + delay + jitter;
-            self.events.push(
-                at,
-                Event::Arrive {
+            match self.peer_region(far_end) {
+                None => {
+                    let wire_slot = self.wire_put(pkt);
+                    self.events.push_keyed(
+                        at,
+                        key,
+                        Event::Arrive {
+                            link,
+                            dir,
+                            wire_slot,
+                        },
+                    );
+                }
+                // The far end lives in another region: hand the arrival
+                // off; it lands in the owner's queue under the same
+                // (time, key) it would have had here.
+                // simlint: allow(panic-surface, reason = "peer_region returns a region id below the partition's count, and the outbox has one slot per region")
+                Some(peer) => self.outbox[peer as usize].push(parallel::RegionMsg::Arrive {
+                    time: at,
+                    key,
                     link,
                     dir,
-                    wire_slot,
-                },
-            );
+                    pkt: Box::new(pkt),
+                }),
+            }
         }
 
         // Start the next packet, if any (the AQM may head-drop on the way).
-        let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+        let state = &mut self.links[link.0 as usize].dirs[dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
         let deq = state.queue.dequeue(self.now);
         for dropped in deq.dropped {
             self.stats.packets_dropped += 1;
@@ -808,24 +989,46 @@ impl Simulator {
         }
         if let Some(next) = deq.pkt {
             let tx_time = capacity.tx_time(next.wire_size() as u64);
-            let state = &mut self.links[link.0 as usize].dirs[dir.index()];
+            let state = &mut self.links[link.0 as usize].dirs[dir.index()]; // simlint: allow(panic-surface, reason = "LinkId is topology-issued and every per-link table holds exactly two directions")
             let epoch = state.epoch;
             state.transmitting = Some((next, tx_time));
-            self.events
-                .push(self.now + tx_time, Event::TxDone { link, dir, epoch });
+            self.push_tx_done(link, dir, epoch, self.now + tx_time);
         }
+    }
+
+    /// If `node` belongs to another region of a partitioned run, its
+    /// region id; `None` when `node` is ours (always, on the serial path).
+    fn peer_region(&self, node: NodeId) -> Option<u32> {
+        let map = self.node_region.as_ref()?;
+        let r = map[node.0 as usize]; // simlint: allow(panic-surface, reason = "the region map is built with one entry per topology node")
+        (r != self.region).then_some(r)
     }
 
     fn record(&mut self, node: NodeId, kind: CaptureKind, link: Option<LinkId>, pkt: &Packet) {
         if self.capture_cfg.wants(node, kind) {
-            self.captures.push(CaptureRecord {
-                time: self.now,
-                node,
-                kind,
-                link,
-                pkt: pkt.meta(),
-            });
+            self.record_meta(node, kind, link, pkt.meta());
         }
+    }
+
+    /// Append one capture record, stamped with its canonical position
+    /// `(current event key, intra-event index)` so region capture streams
+    /// merge back into exact serial order.
+    fn record_meta(
+        &mut self,
+        node: NodeId,
+        kind: CaptureKind,
+        link: Option<LinkId>,
+        pkt: PacketMeta,
+    ) {
+        self.captures.push(CaptureRecord {
+            time: self.now,
+            node,
+            kind,
+            link,
+            pkt,
+        });
+        self.capture_ord.push((self.cur_key, self.cur_sub));
+        self.cur_sub += 1;
     }
 }
 
@@ -834,4 +1037,30 @@ enum AgentCall {
     Start,
     Timer(u64),
     Packet(Packet),
+}
+
+/// The wire-pool slot index for a pool currently `len` entries long.
+/// Overflowing `u32` would alias two live slots and silently cross-deliver
+/// packets, so it is a hard error, not a saturation.
+fn wire_slot_index(len: usize) -> u32 {
+    // simlint: allow(unwrap, reason = "aliasing wire slots corrupts the run; fail loudly at the 2^32 boundary")
+    u32::try_from(len).expect("wire pool exceeded u32::MAX slots")
+}
+
+#[cfg(test)]
+mod wire_pool_tests {
+    use super::wire_slot_index;
+
+    #[test]
+    fn slot_index_is_exact_below_the_boundary() {
+        assert_eq!(wire_slot_index(0), 0);
+        assert_eq!(wire_slot_index(123), 123);
+        assert_eq!(wire_slot_index(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "wire pool exceeded u32::MAX slots")]
+    fn slot_index_overflow_is_a_hard_error() {
+        let _ = wire_slot_index(u32::MAX as usize + 1);
+    }
 }

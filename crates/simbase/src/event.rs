@@ -1,11 +1,21 @@
 //! Deterministic event queue.
 //!
 //! A discrete-event simulator is only as reproducible as its event ordering.
-//! [`EventQueue`] orders events by `(time, sequence)`, where `sequence` is a
-//! monotonically increasing insertion counter: two events scheduled for the
-//! same instant pop in the order they were pushed, regardless of the
+//! [`EventQueue`] orders events by `(time, sequence)`. By default `sequence`
+//! is a monotonically increasing insertion counter: two events scheduled for
+//! the same instant pop in the order they were pushed, regardless of the
 //! internal data structure. That property is what makes a seeded run
 //! bit-identical.
+//!
+//! Callers that need an ordering independent of *push order* — e.g. a
+//! partitioned simulator whose regions push the same events in different
+//! interleavings — can supply the sequence themselves via
+//! [`EventQueue::push_keyed`]. Keyed and counter-sequenced pushes may be
+//! mixed, but a caller doing so is responsible for the combined `(time,
+//! seq)` ordering making sense; the queue only promises to sort by it.
+//! Two *live* entries must never share an equal `(time, key)` pair — the
+//! backends do not define a stable order between duplicates (a cancelled
+//! duplicate is fine: reaping is order-insensitive).
 //!
 //! # Engine
 //!
@@ -441,9 +451,30 @@ impl<E> EventQueue<E> {
         token
     }
 
+    /// Schedule `event` at `time` with a caller-supplied tie-break key in
+    /// place of the insertion counter. Events at equal times pop in key
+    /// order, regardless of push order — the property a partitioned
+    /// simulator needs so that every partition produces the same schedule.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.push_entry(time, key, event, 0);
+    }
+
+    /// Keyed push (see [`EventQueue::push_keyed`]) that returns a
+    /// cancellation token, like [`EventQueue::push_cancellable`].
+    pub fn push_keyed_cancellable(&mut self, time: SimTime, key: u64, event: E) -> u64 {
+        self.token_state.push(TokenState::Live);
+        let token = self.token_state.len() as u64;
+        self.push_entry(time, key, event, token);
+        token
+    }
+
     fn push_token(&mut self, time: SimTime, event: E, token: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_entry(time, seq, event, token);
+    }
+
+    fn push_entry(&mut self, time: SimTime, seq: u64, event: E, token: u64) {
         self.pushed += 1;
         self.live += 1;
         self.backend.push(Entry {
@@ -735,6 +766,52 @@ mod tests {
         q.push(t, 2u32);
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
         assert_eq!(order, vec![0, 1, 2], "tokens must not perturb FIFO order");
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_key_not_push_order() {
+        // Two queues receive the same keyed events in opposite push orders;
+        // the pop sequence must be identical (that is the whole point of
+        // caller-supplied keys).
+        let t = SimTime::from_millis(1);
+        let evs = [(7u64, "g"), (1, "a"), (4, "d"), (2, "b")];
+        let mut fwd = EventQueue::new();
+        let mut rev = EventQueue::new();
+        for &(k, e) in &evs {
+            fwd.push_keyed(t, k, e);
+        }
+        for &(k, e) in evs.iter().rev() {
+            rev.push_keyed(t, k, e);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| fwd.pop().map(|e| (e.seq, e.event))).collect();
+        let b: Vec<_> = std::iter::from_fn(|| rev.pop().map(|e| (e.seq, e.event))).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(1, "a"), (2, "b"), (4, "d"), (7, "g")]);
+    }
+
+    #[test]
+    fn keyed_pushes_order_on_heap_backend_too() {
+        let t = SimTime::from_millis(1);
+        let mut q = EventQueue::new_reference_heap();
+        q.push_keyed(t, 9, "z");
+        q.push_keyed(t, 3, "c");
+        q.push_keyed(SimTime::from_micros(1), 50, "early");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["early", "c", "z"]);
+    }
+
+    #[test]
+    fn keyed_cancellable_pushes_cancel_like_counter_ones() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.push_keyed(t, 1, "keep");
+        let tok = q.push_keyed_cancellable(t, 0, "dead");
+        assert!(q.cancel(tok));
+        assert_eq!(q.peek_time(), Some(t));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["keep"]);
+        assert_eq!(q.total_pushed(), 1);
+        assert_eq!(q.total_cancelled(), 1);
     }
 
     #[test]

@@ -51,12 +51,12 @@ impl TcpFlags {
     };
 
     fn to_byte(self) -> u8 {
-        (self.syn as u8)
-            | (self.ack as u8) << 1
-            | (self.fin as u8) << 2
-            | (self.rst as u8) << 3
-            | (self.ece as u8) << 4
-            | (self.cwr as u8) << 5
+        u8::from(self.syn)
+            | u8::from(self.ack) << 1
+            | u8::from(self.fin) << 2
+            | u8::from(self.rst) << 3
+            | u8::from(self.ece) << 4
+            | u8::from(self.cwr) << 5
     }
 
     fn from_byte(b: u8) -> TcpFlags {
@@ -401,7 +401,7 @@ impl TcpSegment {
         let ack = SeqNum(buf.get_u32());
         let data_offset_words = (buf.get_u8() >> 4) as usize;
         let flags = TcpFlags::from_byte(buf.get_u8());
-        let window = (buf.get_u16() as u32) << WINDOW_SHIFT;
+        let window = u32::from(buf.get_u16()) << WINDOW_SHIFT;
         let _checksum = buf.get_u16();
         let _urgent = buf.get_u16();
 
