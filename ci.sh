@@ -61,6 +61,18 @@ cmp /tmp/fluid_table_regen.txt results/fluid_table.txt || {
 }
 rm -f /tmp/fluid_table_regen.txt
 
+echo "==> worldgen smoke (fat-tree ECMP, traffic, mobility, fluid band, region hashes)"
+./target/release/worldgen_table --smoke
+
+echo "==> worldgen_table.txt byte-diff regeneration check"
+./target/release/worldgen_table 2>/dev/null >/tmp/worldgen_table_regen.txt
+cmp /tmp/worldgen_table_regen.txt results/worldgen_table.txt || {
+    echo "results/worldgen_table.txt is stale: regenerate with" >&2
+    echo "  cargo run -p bench --bin worldgen_table --release > results/worldgen_table.txt" >&2
+    exit 1
+}
+rm -f /tmp/worldgen_table_regen.txt
+
 echo "==> failover smoke (fault injection, recovery gates, 1-vs-4-worker hashes)"
 ./target/release/failover_table --smoke
 

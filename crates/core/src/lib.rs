@@ -24,6 +24,11 @@
 //!   path's private link mid-run, restore it, and measure recovery time
 //!   and post-failure throughput against the LP optimum recomputed on the
 //!   surviving constraint set; renders `results/failover_table.txt`.
+//! * [`worldexp`] — population-scale experiments on the `worldgen`
+//!   scenario library: many-connection fat-tree ECMP runs regressed
+//!   against subflow overlap class, heavy-tailed traffic programs on a
+//!   shared bottleneck, mobility handover comparisons, and a fluid
+//!   cross-check; renders `results/worldgen_table.txt`.
 //! * [`report`] — terminal rendering (ASCII charts, summary tables).
 //!
 //! ```no_run
@@ -52,6 +57,7 @@ pub mod randomnet;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod worldexp;
 
 pub use bigchain::DualChainNet;
 pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
@@ -69,10 +75,15 @@ pub use fluidcheck::{
 pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
 pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};
 pub use runner::{
-    parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
-    SweepSpec, TopologySpec,
+    execute_jobs, parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell,
+    SweepOutcome, SweepSpec, TopologySpec,
 };
 pub use scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
+pub use worldexp::{
+    crosscheck_rows, render_worldgen, run_fabric, run_mobility, run_traffic, verify_worldgen,
+    worldgen_report, worldgen_table_document, FabricCell, FabricRun, MobilityRun, SubflowSelector,
+    TrafficCell, TrafficRun, WorldCrossRow, WorldgenConfig, WorldgenReport,
+};
 
 /// The most frequently used types, re-exported for glob import.
 pub mod prelude {
@@ -94,6 +105,10 @@ pub mod prelude {
         SweepSpec, TopologySpec,
     };
     pub use crate::scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
+    pub use crate::worldexp::{
+        run_fabric, run_mobility, run_traffic, worldgen_report, worldgen_table_document,
+        FabricCell, SubflowSelector, TrafficCell, WorldgenConfig,
+    };
     pub use fluidsim::{
         solve, FluidConfig, FluidLaw, FluidModel, FluidOutcome, FluidParams, FluidRun,
     };

@@ -263,7 +263,7 @@ pub fn run_sweep(spec: &SweepSpec, cfg: &RunnerConfig) -> SweepOutcome {
     let cells = spec.cells();
     let lp_cache = LpCache::new();
     let workers = cfg.effective_workers(cells.len());
-    let results = execute(cells.len(), workers, cfg.progress, |i| {
+    let results = execute_jobs(cells.len(), workers, cfg.progress, |i| {
         spec.scenario(&cells[i]).run_with_lp_cache(Some(&lp_cache))
     });
     SweepOutcome {
@@ -281,7 +281,7 @@ pub fn run_sweep(spec: &SweepSpec, cfg: &RunnerConfig) -> SweepOutcome {
 pub fn run_scenarios(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<RunResult> {
     let lp_cache = LpCache::new();
     let workers = cfg.effective_workers(scenarios.len());
-    execute(scenarios.len(), workers, cfg.progress, |i| {
+    execute_jobs(scenarios.len(), workers, cfg.progress, |i| {
         scenarios[i].run_with_lp_cache(Some(&lp_cache))
     })
 }
@@ -340,11 +340,19 @@ pub fn parallel_matches_serial(spec: &SweepSpec, workers: usize) -> SweepOutcome
 /// the progress meter. If any job panics, its worker drops the channel
 /// sender, collection drains what finished, and `thread::scope` re-raises
 /// the panic on join — a sweep never silently loses cells.
-fn execute<J>(total: usize, workers: usize, progress: bool, job: J) -> Vec<RunResult>
+///
+/// Generic over the job's result type so sweeps whose unit of work is not
+/// a [`Scenario`] (the worldgen scenario-library experiments fan out whole
+/// multi-connection simulations) inherit the same ordering and panic
+/// semantics. The job must be a pure function of its index for the
+/// determinism guarantee to mean anything — the engine only promises that
+/// *collection order* is worker-count independent.
+pub fn execute_jobs<R, J>(total: usize, workers: usize, progress: bool, job: J) -> Vec<R>
 where
-    J: Fn(usize) -> RunResult + Sync,
+    R: Send,
+    J: Fn(usize) -> R + Sync,
 {
-    let mut slots: Vec<Option<RunResult>> = Vec::new();
+    let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(total, || None);
     let mut meter = ProgressMeter::start(total, progress);
 
@@ -355,7 +363,7 @@ where
         }
     } else {
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RunResult)>();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
         // simlint: allow(thread, reason = "fan-out of pure Scenario::run jobs; results re-ordered by index below, see parallel_matches_serial")
         std::thread::scope(|scope| {
             for _ in 0..workers {

@@ -51,7 +51,7 @@ pub use queue::{
     CoDel, CoDelConfig, Dequeued, DropReason, DropTail, EnqueueResult, Queue, QueueConfig, Red,
     RedConfig,
 };
-pub use routing::{Fib, RoutingTables};
+pub use routing::{ecmp_select, Fib, RoutingTables};
 pub use sim::Simulator;
 pub use stats::{LinkDirStats, SimStats};
 pub use topology::{LinkSpec, NodeInfo, Topology};

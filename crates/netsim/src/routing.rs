@@ -30,12 +30,45 @@ pub struct Fib {
     exact: BTreeMap<(NodeId, Tag), LinkId>,
     default_route: BTreeMap<NodeId, LinkId>,
     ecmp: BTreeMap<NodeId, Vec<LinkId>>,
+    ecmp_seed: u64,
+}
+
+/// The ECMP member index for a flow: Fibonacci hash of the flow key mixed
+/// with the switch's seed. Seed 0 reproduces the historical unseeded hash
+/// (XOR with 0 is the identity), so existing topologies are unaffected.
+///
+/// This function is the *specification* of ECMP selection: generators that
+/// pre-compute the path a flow will take (e.g. `worldgen`'s fat-tree path
+/// extractor) call it with the same arguments the FIB uses at forwarding
+/// time, and the two must agree by construction.
+pub fn ecmp_select(flow_hash: u64, seed: u64, group_len: usize) -> usize {
+    debug_assert!(group_len > 0);
+    let h = (flow_hash ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % group_len
 }
 
 impl Fib {
     /// Empty FIB.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set this node's ECMP hash seed (see [`ecmp_select`]). Distinct seeds
+    /// per switch model independent hardware hash functions — without them,
+    /// every switch in a layered fabric would make correlated choices and
+    /// ECMP collisions would be systematically under- or over-counted.
+    pub fn set_ecmp_seed(&mut self, seed: u64) {
+        self.ecmp_seed = seed;
+    }
+
+    /// This node's ECMP hash seed.
+    pub fn ecmp_seed(&self) -> u64 {
+        self.ecmp_seed
+    }
+
+    /// The ECMP group towards `dst`, if one is installed.
+    pub fn ecmp_group(&self, dst: NodeId) -> Option<&[LinkId]> {
+        self.ecmp.get(&dst).map(Vec::as_slice)
     }
 
     /// Install an exact `(dst, tag)` route. Later installs overwrite.
@@ -64,9 +97,7 @@ impl Fib {
         if let Some(group) = self.ecmp.get(&pkt.dst) {
             // Deterministic flow hash -> group member. Fibonacci hashing
             // spreads consecutive flow keys across members.
-            let h = pkt.flow_hash.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let idx = (h >> 32) as usize % group.len();
-            return Some(group[idx]);
+            return Some(group[ecmp_select(pkt.flow_hash, self.ecmp_seed, group.len())]);
         }
         self.default_route.get(&pkt.dst).copied()
     }
@@ -249,6 +280,41 @@ mod tests {
             counts[0] > 20 && counts[1] > 20,
             "hash should spread: {counts:?}"
         );
+    }
+
+    #[test]
+    fn ecmp_seed_zero_reproduces_the_unseeded_hash() {
+        for flow in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            for len in [1usize, 2, 3, 8] {
+                let h = flow.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                assert_eq!(ecmp_select(flow, 0, len), (h >> 32) as usize % len);
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_seeds_decorrelate_switch_choices() {
+        // Two switches with different seeds must not pick the same member
+        // index for every flow (that correlation is what per-switch seeds
+        // exist to break); each individually stays deterministic.
+        let (t, s, _u, _v, d) = diamond();
+        let mut rt = RoutingTables::new(&t);
+        rt.fib_mut(s).set_ecmp_group(d, vec![LinkId(0), LinkId(2)]);
+        rt.fib_mut(s).set_ecmp_seed(0x1234_5678_9ABC_DEF0);
+        assert_eq!(rt.fib(s).ecmp_seed(), 0x1234_5678_9ABC_DEF0);
+        let mut differs = 0;
+        for flow in 0..200u64 {
+            let seeded = ecmp_select(flow, 0x1234_5678_9ABC_DEF0, 2);
+            let unseeded = ecmp_select(flow, 0, 2);
+            if seeded != unseeded {
+                differs += 1;
+            }
+            // The FIB must apply its own seed.
+            let routed = rt.fib(s).route(&pkt(d, Tag::NONE, flow)).unwrap();
+            let expect = [LinkId(0), LinkId(2)][seeded];
+            assert_eq!(routed, expect);
+        }
+        assert!(differs > 40, "seed changed only {differs}/200 choices");
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Wifi + cellular mobility: access networks whose quality follows the
+//! user's motion, compiled into deterministic fault schedules.
+//!
+//! A walking user's wifi link does not fail like a datacenter cable. Its
+//! capacity degrades in RSSI-like steps as distance grows, its delay rises
+//! as the rate control drops to sturdier modulations, and finally the
+//! association breaks — a hard handover outage — until the client
+//! re-attaches (to the same AP on the return leg of the walk, in this
+//! model). The cellular leg stays up throughout but is thinner and
+//! farther. That asymmetric churn is exactly the regime where MPTCP's
+//! wifi-offload story is tested, and the paper's overlap question gets a
+//! twist: during the outage *every* byte shares the cellular path.
+//!
+//! [`MobilityProfile::compile`] turns a profile into a
+//! [`netsim::FaultSchedule`] — plain data, applied by the simulator's
+//! fault pump at exact nanosecond times, so a mobility run is as
+//! reproducible as a static one.
+
+use netsim::{FaultAction, FaultSchedule, NodeId, Path, QueueConfig, Topology};
+use simbase::{Bandwidth, SimDuration, SimTime};
+
+/// Parameters of the two-access (wifi + cellular) network.
+#[derive(Debug, Clone)]
+pub struct MobileNetConfig {
+    /// Wifi access capacity at the association point (peak RSSI).
+    pub wifi_bw: Bandwidth,
+    /// Cellular access capacity (constant; the thin, reliable leg).
+    pub cell_bw: Bandwidth,
+    /// Wifi one-way delay at peak.
+    pub wifi_delay: SimDuration,
+    /// Cellular one-way delay (typically several times wifi).
+    pub cell_delay: SimDuration,
+    /// Shared wired backhaul capacity from both gateways to the server.
+    pub backhaul_bw: Bandwidth,
+    /// Backhaul one-way delay.
+    pub backhaul_delay: SimDuration,
+    /// Output queue of every link.
+    pub queue: QueueConfig,
+}
+
+impl Default for MobileNetConfig {
+    fn default() -> Self {
+        MobileNetConfig {
+            wifi_bw: Bandwidth::from_mbps(40),
+            cell_bw: Bandwidth::from_mbps(10),
+            wifi_delay: SimDuration::from_millis(5),
+            cell_delay: SimDuration::from_millis(25),
+            backhaul_bw: Bandwidth::from_mbps(100),
+            backhaul_delay: SimDuration::from_millis(10),
+            queue: QueueConfig::DropTailPackets(32),
+        }
+    }
+}
+
+/// The built client—(AP | BS)—server network.
+#[derive(Debug, Clone)]
+pub struct MobileNet {
+    /// The network.
+    pub topology: Topology,
+    /// The mobile client (MPTCP sender in the upload orientation).
+    pub client: NodeId,
+    /// The wifi access point.
+    pub ap: NodeId,
+    /// The cellular base station.
+    pub bs: NodeId,
+    /// The fixed server.
+    pub server: NodeId,
+    /// The client↔AP radio link — the one mobility mutates.
+    pub wifi_access: netsim::LinkId,
+    /// The client↔BS radio link.
+    pub cell_access: netsim::LinkId,
+}
+
+impl MobileNet {
+    /// Build the network: `client — ap — server` and `client — bs — server`.
+    pub fn build(cfg: &MobileNetConfig) -> MobileNet {
+        let mut topo = Topology::new();
+        let client = topo.add_node("client");
+        let ap = topo.add_node("ap");
+        let bs = topo.add_node("bs");
+        let server = topo.add_node("server");
+        let wifi_access = topo.add_link(client, ap, cfg.wifi_bw, cfg.wifi_delay, cfg.queue);
+        let cell_access = topo.add_link(client, bs, cfg.cell_bw, cfg.cell_delay, cfg.queue);
+        topo.add_link(ap, server, cfg.backhaul_bw, cfg.backhaul_delay, cfg.queue);
+        topo.add_link(bs, server, cfg.backhaul_bw, cfg.backhaul_delay, cfg.queue);
+        MobileNet {
+            topology: topo,
+            client,
+            ap,
+            bs,
+            server,
+            wifi_access,
+            cell_access,
+        }
+    }
+
+    /// The two subflow paths, wifi first.
+    pub fn paths(&self) -> Vec<Path> {
+        [self.ap, self.bs]
+            .iter()
+            .map(|&mid| {
+                Path::from_nodes(&self.topology, &[self.client, mid, self.server])
+                    // simlint: allow(unwrap, reason = "the builder created exactly these links")
+                    .expect("access path")
+            })
+            .collect()
+    }
+}
+
+/// A periodic walk-away-and-back mobility pattern for the wifi leg.
+///
+/// Each period: the client walks away from the AP (capacity ramps down,
+/// delay ramps up, in `ramp_steps` RSSI-like steps over the first 40% of
+/// the period), the association breaks (hard outage of `handover_outage`
+/// starting at 45%), and the client walks back (mirror-image ramp up over
+/// the final 40%). The cellular leg is untouched.
+#[derive(Debug, Clone)]
+pub struct MobilityProfile {
+    /// Length of one walk cycle.
+    pub period: SimDuration,
+    /// Number of cycles to emit.
+    pub cycles: usize,
+    /// RSSI steps per ramp (≥1).
+    pub ramp_steps: usize,
+    /// Wifi capacity at the farthest attached point, as a fraction of peak
+    /// (in `(0, 1]`).
+    pub wifi_floor_fraction: f64,
+    /// Wifi one-way delay at the farthest attached point.
+    pub far_delay: SimDuration,
+    /// Length of the hard handover outage.
+    pub handover_outage: SimDuration,
+}
+
+impl Default for MobilityProfile {
+    fn default() -> Self {
+        MobilityProfile {
+            period: SimDuration::from_secs(4),
+            cycles: 2,
+            ramp_steps: 4,
+            wifi_floor_fraction: 0.25,
+            far_delay: SimDuration::from_millis(20),
+            handover_outage: SimDuration::from_millis(400),
+        }
+    }
+}
+
+impl MobilityProfile {
+    /// Compile the profile against a built network into a fault schedule.
+    /// Pure function of `(self, net.wifi_access, net config)`: equal inputs
+    /// yield equal schedules, entry for entry.
+    pub fn compile(&self, net: &MobileNet, cfg: &MobileNetConfig) -> FaultSchedule {
+        // simlint: allow(panic-surface, reason = "profile validation before any emission")
+        assert!(
+            self.ramp_steps >= 1
+                && self.wifi_floor_fraction > 0.0
+                && self.wifi_floor_fraction <= 1.0,
+            "profile needs >=1 ramp step and a floor fraction in (0, 1]"
+        );
+        let link = net.wifi_access;
+        let peak_bw = cfg.wifi_bw.as_bps() as f64;
+        let floor_bw = peak_bw * self.wifi_floor_fraction;
+        let peak_delay = cfg.wifi_delay.as_nanos() as f64;
+        let far_delay = self.far_delay.as_nanos() as f64;
+        let mut sched = FaultSchedule::new();
+        for cycle in 0..self.cycles {
+            let base = SimTime::ZERO + self.period.saturating_mul(cycle as u64);
+            let step_len = self.period.mul_f64(0.4 / self.ramp_steps as f64);
+            // Walk away: step 1..=ramp_steps lerps peak -> floor.
+            for s in 1..=self.ramp_steps {
+                let frac = s as f64 / self.ramp_steps as f64;
+                let t = base + step_len.saturating_mul(s as u64);
+                sched.push(
+                    t,
+                    FaultAction::SetCapacity(link, lerp_bw(peak_bw, floor_bw, frac)),
+                );
+                sched.push(
+                    t,
+                    FaultAction::SetDelay(link, lerp_delay(peak_delay, far_delay, frac)),
+                );
+            }
+            // Hard handover: association breaks, then re-attaches.
+            let down = base + self.period.mul_f64(0.45);
+            sched.push(down, FaultAction::LinkDown(link));
+            sched.push(down + self.handover_outage, FaultAction::LinkUp(link));
+            // Walk back: mirror ramp, ending at peak just before the cycle
+            // boundary.
+            for s in 1..=self.ramp_steps {
+                let frac = 1.0 - s as f64 / self.ramp_steps as f64;
+                let t = base + self.period.mul_f64(0.6) + step_len.saturating_mul(s as u64);
+                sched.push(
+                    t,
+                    FaultAction::SetCapacity(link, lerp_bw(peak_bw, floor_bw, frac)),
+                );
+                sched.push(
+                    t,
+                    FaultAction::SetDelay(link, lerp_delay(peak_delay, far_delay, frac)),
+                );
+            }
+        }
+        sched
+    }
+
+    /// Total simulated time the profile spans.
+    pub fn span(&self) -> SimDuration {
+        self.period.saturating_mul(self.cycles as u64)
+    }
+}
+
+fn lerp_bw(peak: f64, floor: f64, frac: f64) -> Bandwidth {
+    let bps = peak + (floor - peak) * frac;
+    Bandwidth::from_bps(bps.round() as u64)
+}
+
+fn lerp_delay(peak_ns: f64, far_ns: f64, frac: f64) -> SimDuration {
+    let ns = peak_ns + (far_ns - peak_ns) * frac;
+    SimDuration::from_nanos(ns.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_has_two_disjoint_access_paths() {
+        let cfg = MobileNetConfig::default();
+        let net = MobileNet::build(&cfg);
+        assert_eq!(net.topology.node_count(), 4);
+        assert_eq!(net.topology.link_count(), 4);
+        let paths = net.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].shared_links(&paths[1]).is_empty());
+    }
+
+    #[test]
+    fn compiled_schedule_is_periodic_and_touches_only_wifi() {
+        let cfg = MobileNetConfig::default();
+        let net = MobileNet::build(&cfg);
+        let profile = MobilityProfile::default();
+        let sched = profile.compile(&net, &cfg);
+        // Per cycle: 2 ramps x ramp_steps x 2 actions + down + up.
+        let per_cycle = 2 * profile.ramp_steps * 2 + 2;
+        assert_eq!(sched.len(), per_cycle * profile.cycles);
+        for (t, action) in sched.entries() {
+            assert_eq!(action.link(), net.wifi_access);
+            assert!(*t <= SimTime::ZERO + profile.span());
+        }
+        // Entries are time-ordered as emitted.
+        for w in sched.entries().windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Exactly one down and one up per cycle.
+        let downs = sched
+            .entries()
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::LinkDown(_)))
+            .count();
+        assert_eq!(downs, profile.cycles);
+    }
+
+    #[test]
+    fn ramp_floor_matches_the_configured_fraction() {
+        let cfg = MobileNetConfig::default();
+        let net = MobileNet::build(&cfg);
+        let profile = MobilityProfile {
+            wifi_floor_fraction: 0.5,
+            ..MobilityProfile::default()
+        };
+        let sched = profile.compile(&net, &cfg);
+        let min_bw = sched
+            .entries()
+            .iter()
+            .filter_map(|(_, a)| match a {
+                FaultAction::SetCapacity(_, bw) => Some(bw.as_bps()),
+                _ => None,
+            })
+            .min()
+            .expect("schedule has capacity actions");
+        assert_eq!(min_bw, cfg.wifi_bw.as_bps() / 2);
+        // The walk-back ramp ends at peak capacity.
+        let last_bw = sched
+            .entries()
+            .iter()
+            .rev()
+            .find_map(|(_, a)| match a {
+                FaultAction::SetCapacity(_, bw) => Some(bw.as_bps()),
+                _ => None,
+            })
+            .expect("schedule has capacity actions");
+        assert_eq!(last_bw, cfg.wifi_bw.as_bps());
+    }
+
+    #[test]
+    fn compile_is_a_pure_function() {
+        let cfg = MobileNetConfig::default();
+        let net = MobileNet::build(&cfg);
+        let profile = MobilityProfile::default();
+        let a = profile.compile(&net, &cfg);
+        let b = profile.compile(&net, &cfg);
+        assert_eq!(a.entries(), b.entries());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`simtrace`] — receiver-side measurement, time series, convergence.
 //! * [`fluidsim`] — deterministic ODE fluid model: a second ground truth
 //!   for the coupled controllers' equilibria.
+//! * [`worldgen`] — internet-scale scenario library: seeded fat-tree ECMP
+//!   fabrics, heavy-tailed traffic programs, mobility handover profiles.
 //! * [`overlap_core`] — the paper's scenarios and experiment harness.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
@@ -27,6 +29,7 @@ pub use overlap_core;
 pub use simbase;
 pub use simtrace;
 pub use tcpsim;
+pub use worldgen;
 
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {
