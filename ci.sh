@@ -30,6 +30,27 @@ cmp /tmp/sweep_serial.txt /tmp/sweep_pooled.txt || {
 }
 rm -f /tmp/sweep_serial.txt /tmp/sweep_pooled.txt
 
+echo "==> warm run-store smoke (second pass must be 100% hits, zero simulations)"
+# Content-addressed run store (DESIGN.md par 13): the same table generated
+# twice against one OVERLAP_STORE directory. The cold pass simulates and
+# persists; the warm pass must answer every cell from disk (stderr reports
+# simulations=0) and produce byte-identical stdout.
+STORE_DIR=$(mktemp -d /tmp/overlap-store-ci.XXXXXX)
+OVERLAP_STORE="$STORE_DIR" ./target/release/table1_results 3 2 \
+    >/tmp/store_cold.txt 2>/tmp/store_cold.log
+OVERLAP_STORE="$STORE_DIR" ./target/release/table1_results 3 2 \
+    >/tmp/store_warm.txt 2>/tmp/store_warm.log
+grep 'store: hits=45 simulations=0 ' /tmp/store_warm.log >/dev/null || {
+    echo "warm store pass still simulated; stderr was:" >&2
+    cat /tmp/store_warm.log >&2
+    exit 1
+}
+cmp /tmp/store_cold.txt /tmp/store_warm.txt || {
+    echo "warm store pass produced different output than the cold pass" >&2
+    exit 1
+}
+rm -rf "$STORE_DIR" /tmp/store_cold.txt /tmp/store_warm.txt /tmp/store_cold.log /tmp/store_warm.log
+
 echo "==> perf snapshot (events/sec, packets/sec, lint lines/sec, peak RSS)"
 ./target/release/perf_snapshot > BENCH_simlint.json
 cat BENCH_simlint.json

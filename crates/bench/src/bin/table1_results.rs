@@ -10,6 +10,11 @@
 //!
 //! Run: `cargo run -p bench --bin table1_results --release [seeds] [secs] [workers]`
 //! (workers: 0 = all cores; also settable via `OVERLAP_WORKERS`).
+//!
+//! With `OVERLAP_STORE=<dir>` set, finished runs are persisted to (and
+//! answered from) the content-addressed run store; a `store:` line on
+//! stderr reports hits/misses — a fully warm store regenerates the table
+//! with `simulations=0` and byte-identical stdout.
 
 use mptcpsim::CcAlgo;
 use overlap_core::prelude::*;
@@ -33,8 +38,9 @@ fn main() {
             n => n.to_string(),
         }
     );
+    let store = RunStore::from_env();
     let started = Instant::now();
-    let rows = results_table_with(
+    let rows = results_table_with_store(
         &[
             CcAlgo::Cubic,
             CcAlgo::Lia,
@@ -45,9 +51,22 @@ fn main() {
         0..seeds,
         SimDuration::from_secs(secs),
         &cfg,
+        store.as_ref(),
     );
     let elapsed = started.elapsed().as_secs_f64();
     print!("{}", render_table(&rows));
     println!("\nLP optimum: 90.0 Mbps; band = within 15% (sustained to end of run).");
     eprintln!("wall clock: {elapsed:.1}s");
+    if let Some(store) = &store {
+        let s = store.stats();
+        eprintln!(
+            "store: hits={} simulations={} entries={} bytes_written={} bytes_read={} dir={}",
+            s.hits,
+            s.misses,
+            store.len(),
+            s.bytes_written,
+            s.bytes_read,
+            store.dir().display()
+        );
+    }
 }

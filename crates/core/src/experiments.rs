@@ -9,8 +9,9 @@
 //! | E5 | Results §3 — which algorithms find the optimum | [`results_table`] |
 
 use crate::paper::{PaperNetwork, PaperNetworkConfig};
-use crate::runner::{run_sweep, RunnerConfig, SweepSpec};
+use crate::runner::{run_sweep_with_store, RunnerConfig, SweepSpec};
 use crate::scenario::{RunResult, Scenario};
+use crate::store::RunStore;
 use mptcpsim::CcAlgo;
 use simbase::SimDuration;
 
@@ -111,8 +112,22 @@ pub fn results_table_with(
     duration: SimDuration,
     cfg: &RunnerConfig,
 ) -> Vec<ResultsRow> {
+    results_table_with_store(algos, seeds, duration, cfg, RunStore::from_env().as_ref())
+}
+
+/// [`results_table_with`] against an explicit [`RunStore`] (None = always
+/// simulate). With a warm store the whole table is answered from disk —
+/// zero simulations — and the rows are byte-identical to a cold run; the
+/// caller holds the store handle and can report [`RunStore::stats`].
+pub fn results_table_with_store(
+    algos: &[CcAlgo],
+    seeds: std::ops::Range<u64>,
+    duration: SimDuration,
+    cfg: &RunnerConfig,
+    store: Option<&RunStore>,
+) -> Vec<ResultsRow> {
     let spec = SweepSpec::paper(algos, seeds, duration);
-    let outcome = run_sweep(&spec, cfg);
+    let outcome = run_sweep_with_store(&spec, cfg, store);
     let n = spec.seeds.len();
     let mut rows = Vec::with_capacity(algos.len() * spec.default_paths.len());
     for (ai, &algo) in algos.iter().enumerate() {

@@ -168,6 +168,24 @@ fn self_paths(paths: &[Path], idx: &[usize]) -> Vec<Path> {
     idx.iter().map(|&i| paths[i].clone()).collect()
 }
 
+/// The fault-free base scenario of a failover cell — everything but the
+/// outage itself. This is what gets checkpointed for branch sweeps: the
+/// prefix up to the failure is identical across every outage variant.
+pub fn failover_base_scenario(
+    setup: &FailoverSetup,
+    algo: CcAlgo,
+    seed: u64,
+    cfg: &FailoverConfig,
+) -> Scenario {
+    Scenario {
+        default_path: setup.net.default_path,
+        ..Scenario::new(setup.net.topology.clone(), setup.net.paths.clone())
+    }
+    .with_algo(algo)
+    .with_seed(seed)
+    .with_timing(cfg.duration, cfg.sample_bin)
+}
+
 /// Build the scenario for one failover cell: the paper network with an
 /// outage of the default path's private link over `[t_down, t_up)`.
 pub fn failover_scenario(
@@ -176,14 +194,11 @@ pub fn failover_scenario(
     seed: u64,
     cfg: &FailoverConfig,
 ) -> Scenario {
-    Scenario {
-        default_path: setup.net.default_path,
-        faults: FaultSchedule::new().outage(setup.dead_link, cfg.t_down, cfg.t_up),
-        ..Scenario::new(setup.net.topology.clone(), setup.net.paths.clone())
-    }
-    .with_algo(algo)
-    .with_seed(seed)
-    .with_timing(cfg.duration, cfg.sample_bin)
+    failover_base_scenario(setup, algo, seed, cfg).with_faults(FaultSchedule::new().outage(
+        setup.dead_link,
+        cfg.t_down,
+        cfg.t_up,
+    ))
 }
 
 /// Recovery time: seconds from `t_down` until the 3-bin-smoothed series
@@ -326,6 +341,145 @@ pub fn run_failover(cfg: &FailoverConfig, runner: &RunnerConfig) -> FailoverOutc
     }
 }
 
+/// One outage-duration variant, branched from a shared prefix checkpoint.
+#[derive(Debug, Clone)]
+pub struct OutageVariantCell {
+    /// When the link came back in this variant.
+    pub t_up: SimTime,
+    /// Recovery time after the failure (None = not before `t_up`).
+    pub recovery_s: Option<f64>,
+    /// Mean total on the surviving paths (settled failure window), Mbps.
+    pub post_fault_mbps: f64,
+    /// Mean total after the restore (settled restore window), Mbps.
+    pub post_restore_mbps: f64,
+    /// Trace digest of the branched run.
+    pub trace_hash: u64,
+}
+
+/// An outage-duration sweep for one `(algo, seed)`: the fault-free prefix
+/// simulated **once** up to `t_down − 1 ns` and checkpointed, then one
+/// branch per restore time.
+#[derive(Debug, Clone)]
+pub struct OutageSweep {
+    /// Congestion control algorithm.
+    pub algo: CcAlgo,
+    /// Run seed.
+    pub seed: u64,
+    /// Where the shared prefix was frozen.
+    pub checkpoint_at: SimTime,
+    /// One cell per restore time, in input order.
+    pub cells: Vec<OutageVariantCell>,
+}
+
+/// Sweep outage durations by branching from a single prefix checkpoint.
+///
+/// The checkpoint is taken at `t_down − 1 ns` — the last representable
+/// instant before the failure — because [`ScenarioCheckpoint::branch_run`]
+/// requires every branched fault to fire *strictly after* the frozen time
+/// (`run_until` has already processed everything at or before it), and the
+/// down event itself is at `t_down`. Each branch is byte-identical to a
+/// cold run carrying the same outage from time zero (the scenario-level
+/// checkpoint contract), which [`failover_table_document`] verifies
+/// in-document against the headline cells.
+///
+/// [`ScenarioCheckpoint::branch_run`]: crate::scenario::ScenarioCheckpoint::branch_run
+pub fn run_outage_sweep(
+    setup: &FailoverSetup,
+    algo: CcAlgo,
+    seed: u64,
+    cfg: &FailoverConfig,
+    t_ups: &[SimTime],
+) -> OutageSweep {
+    assert!(
+        cfg.t_down > SimTime::ZERO,
+        "failure at t=0 leaves no prefix to checkpoint"
+    );
+    let end = SimTime::ZERO + cfg.duration;
+    for &t_up in t_ups {
+        assert!(cfg.t_down < t_up, "outage must end after it starts");
+        assert!(t_up < end, "restore must happen inside the run");
+    }
+    let tc = SimTime::from_nanos(cfg.t_down.as_nanos() - 1);
+    let ckpt = failover_base_scenario(setup, algo, seed, cfg).checkpoint_at(tc);
+    let threshold = cfg.recovery_frac * setup.post_lp_mbps;
+    let cells = t_ups
+        .iter()
+        .map(|&t_up| {
+            let faults = FaultSchedule::new().outage(setup.dead_link, cfg.t_down, t_up);
+            let result = ckpt.branch_run(&faults, None);
+            OutageVariantCell {
+                t_up,
+                recovery_s: recovery_time_s(&result.total, cfg.t_down, t_up, threshold),
+                post_fault_mbps: result.total.mean_over(cfg.t_down + cfg.settle, t_up),
+                post_restore_mbps: result.total.mean_over(t_up + cfg.settle, end),
+                trace_hash: result.trace_hash,
+            }
+        })
+        .collect();
+    OutageSweep {
+        algo,
+        seed,
+        checkpoint_at: tc,
+        cells,
+    }
+}
+
+/// Render the outage-duration sweep section. `cold_hashes` maps
+/// `(algo, seed)` to the headline cell's trace hash at the headline
+/// restore time; when a sweep contains that restore time, the branched
+/// hash is compared against the cold one and the verdict printed — the
+/// checkpoint/branch byte-identity contract, demonstrated inside the
+/// table itself. Panics on a mismatch: a divergent branch would mean the
+/// snapshot layer corrupted simulator state.
+pub fn render_outage_sweeps(
+    sweeps: &[OutageSweep],
+    headline_t_up: SimTime,
+    cold_hashes: &dyn Fn(CcAlgo, u64) -> Option<u64>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>5} {:>7} | {:>9} | {:>9} {:>9} | {:>18} | branch == cold",
+        "algo", "seed", "up s", "recov s", "post", "restore", "trace hash"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for sweep in sweeps {
+        for c in &sweep.cells {
+            let verdict = if c.t_up == headline_t_up {
+                match cold_hashes(sweep.algo, sweep.seed) {
+                    Some(cold) => {
+                        assert_eq!(
+                            c.trace_hash,
+                            cold,
+                            "{} seed {}: branch at t_up={} diverged from the cold run",
+                            sweep.algo.name(),
+                            sweep.seed,
+                            c.t_up
+                        );
+                        "ok"
+                    }
+                    None => "-",
+                }
+            } else {
+                "-"
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:>5} {:>7.1} | {} | {:9.2} {:9.2} | {:#018x} | {}",
+                sweep.algo.name(),
+                sweep.seed,
+                c.t_up.as_secs_f64(),
+                fmt_opt(c.recovery_s, 9),
+                c.post_fault_mbps,
+                c.post_restore_mbps,
+                c.trace_hash,
+                verdict,
+            );
+        }
+    }
+    out
+}
+
 fn fmt_opt(v: Option<f64>, width: usize) -> String {
     match v {
         Some(v) => format!("{v:>width$.2}"),
@@ -461,6 +615,39 @@ pub fn failover_table_document(runner: &RunnerConfig) -> String {
     let _ = writeln!(out, "--- 2. per-seed cells ---");
     out.push_str(&render_failover_cells(&outcome));
     let _ = writeln!(out);
+    let _ = writeln!(out, "--- 3. outage-duration sweep (checkpoint/branch) ---");
+    // Shortest variant restores at 7 s so the settled failure window
+    // [t_down + settle, t_up) is non-empty in every row.
+    let t_ups: Vec<SimTime> = [7, 8, 10, 12].map(SimTime::from_secs).to_vec();
+    let sweep_seed = cfg.seeds.start;
+    let sweeps: Vec<OutageSweep> = cfg
+        .algos
+        .iter()
+        .map(|&algo| run_outage_sweep(&outcome.setup, algo, sweep_seed, &cfg, &t_ups))
+        .collect();
+    let _ = writeln!(
+        out,
+        "seed {sweep_seed}; per algorithm the fault-free prefix runs once to t = {} s and is",
+        sweeps[0].checkpoint_at.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "checkpointed, then {} outage variants branch from the snapshot. The branch at the",
+        t_ups.len()
+    );
+    let _ = writeln!(
+        out,
+        "headline restore time ({} s) must hash identically to section 2's cold run.",
+        cfg.t_up.as_secs_f64()
+    );
+    out.push_str(&render_outage_sweeps(&sweeps, cfg.t_up, &|algo, seed| {
+        outcome
+            .cells
+            .iter()
+            .find(|c| c.algo == algo && c.seed == seed)
+            .map(|c| c.trace_hash)
+    }));
+    let _ = writeln!(out);
     let _ = writeln!(
         out,
         "notes: post/LP compares the surviving-path throughput to the recomputed optimum;"
@@ -570,6 +757,82 @@ mod tests {
         let row = &outcome.rows[0];
         assert_eq!(row.recovered, 1);
         assert!(row.fluid_post_mbps.is_some());
+    }
+
+    #[test]
+    fn outage_sweep_branches_match_their_cold_runs() {
+        // Short config so the test stays cheap: failure at 1.5 s, headline
+        // restore at 3 s, 5 s runs. Every branched variant must be
+        // bit-identical to a cold run carrying the same outage from time
+        // zero. (Nearby restore times can legitimately produce *identical*
+        // traces — subflow revival is quantized by the RTO probe schedule,
+        // so a restore landing between two probes is invisible — which is
+        // why the contract is branch == cold, not variant != variant.)
+        let cfg = FailoverConfig {
+            algos: vec![CcAlgo::Lia],
+            seeds: 7..8,
+            t_down: SimTime::from_millis(1500),
+            t_up: SimTime::from_secs(3),
+            duration: SimDuration::from_secs(5),
+            settle: SimDuration::from_millis(500),
+            ..FailoverConfig::default()
+        };
+        let setup = FailoverSetup::paper();
+        let t_ups = [
+            SimTime::from_millis(2500),
+            SimTime::from_secs(3),
+            SimTime::from_millis(3500),
+        ];
+        let sweep = run_outage_sweep(&setup, CcAlgo::Lia, 7, &cfg, &t_ups);
+        assert_eq!(
+            sweep.checkpoint_at,
+            SimTime::from_nanos(cfg.t_down.as_nanos() - 1)
+        );
+        assert_eq!(sweep.cells.len(), 3);
+
+        let mut headline_hash = None;
+        for (cell, &t_up) in sweep.cells.iter().zip(&t_ups) {
+            let cold_cfg = FailoverConfig {
+                t_up,
+                ..cfg.clone()
+            };
+            let cold = failover_scenario(&setup, CcAlgo::Lia, 7, &cold_cfg).run();
+            assert_eq!(
+                cell.trace_hash, cold.trace_hash,
+                "branch at t_up = {t_up} must replay the cold run exactly"
+            );
+            if t_up == cfg.t_up {
+                headline_hash = Some(cold.trace_hash);
+            }
+        }
+
+        // The rendered section flags the headline variant "ok" (and would
+        // panic on a hash mismatch).
+        let rendered = render_outage_sweeps(&[sweep], cfg.t_up, &|algo, seed| {
+            headline_hash.filter(|_| algo == CcAlgo::Lia && seed == 7)
+        });
+        assert!(rendered.contains("| ok"), "{rendered}");
+    }
+
+    #[test]
+    fn outage_sweep_is_deterministic() {
+        let cfg = FailoverConfig {
+            algos: vec![CcAlgo::Cubic],
+            seeds: 2..3,
+            t_down: SimTime::from_secs(2),
+            t_up: SimTime::from_secs(4),
+            duration: SimDuration::from_secs(6),
+            ..FailoverConfig::default()
+        };
+        let setup = FailoverSetup::paper();
+        let t_ups = [SimTime::from_secs(3), SimTime::from_secs(4)];
+        let a = run_outage_sweep(&setup, CcAlgo::Cubic, 2, &cfg, &t_ups);
+        let b = run_outage_sweep(&setup, CcAlgo::Cubic, 2, &cfg, &t_ups);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.trace_hash, cb.trace_hash);
+            assert_eq!(ca.recovery_s, cb.recovery_s);
+            assert_eq!(ca.post_fault_mbps.to_bits(), cb.post_fault_mbps.to_bits());
+        }
     }
 
     #[test]

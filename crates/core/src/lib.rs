@@ -29,6 +29,10 @@
 //!   against subflow overlap class, heavy-tailed traffic programs on a
 //!   shared bottleneck, mobility handover comparisons, and a fluid
 //!   cross-check; renders `results/worldgen_table.txt`.
+//! * [`store`] — content-addressed run persistence: scenarios reduce to a
+//!   canonical digest over every run input, finished [`RunResult`]s are
+//!   kept on disk under it, and a warm store regenerates tables without
+//!   simulating (activated via the `OVERLAP_STORE` directory variable).
 //! * [`report`] — terminal rendering (ASCII charts, summary tables).
 //!
 //! ```no_run
@@ -57,16 +61,19 @@ pub mod randomnet;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod store;
 pub mod worldexp;
 
 pub use bigchain::DualChainNet;
 pub use determinism::{assert_deterministic, compare_runs, double_run, DeterminismReport};
 pub use experiments::{
-    fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow, FIG2_SEED,
+    fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, results_table_with_store,
+    ResultsRow, FIG2_SEED,
 };
 pub use failover::{
-    exclusive_link, failover_scenario, failover_table_document, recovery_time_s, run_failover,
-    FailoverCell, FailoverConfig, FailoverOutcome, FailoverRow, FailoverSetup,
+    exclusive_link, failover_base_scenario, failover_scenario, failover_table_document,
+    recovery_time_s, render_outage_sweeps, run_failover, run_outage_sweep, FailoverCell,
+    FailoverConfig, FailoverOutcome, FailoverRow, FailoverSetup, OutageSweep, OutageVariantCell,
 };
 pub use fluidcheck::{
     fluid_config, fluid_paper_run, fluid_table_document, paper_cross_table, random_cross_table,
@@ -75,10 +82,11 @@ pub use fluidcheck::{
 pub use paper::{ConstraintVariant, PaperNetwork, PaperNetworkConfig};
 pub use randomnet::{RandomOverlapConfig, RandomOverlapNet};
 pub use runner::{
-    execute_jobs, parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell,
-    SweepOutcome, SweepSpec, TopologySpec,
+    execute_jobs, parallel_matches_serial, run_scenarios, run_scenarios_with_store, run_sweep,
+    run_sweep_with_store, RunnerConfig, SweepCell, SweepOutcome, SweepSpec, TopologySpec,
 };
-pub use scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
+pub use scenario::{CrossTraffic, QueueEngine, RunResult, Scenario, ScenarioCheckpoint};
+pub use store::{run_via_store, RunStore, StoreStats};
 pub use worldexp::{
     crosscheck_rows, render_worldgen, run_fabric, run_mobility, run_traffic, verify_worldgen,
     worldgen_report, worldgen_table_document, FabricCell, FabricRun, MobilityRun, SubflowSelector,
@@ -88,7 +96,8 @@ pub use worldexp::{
 /// The most frequently used types, re-exported for glob import.
 pub mod prelude {
     pub use crate::experiments::{
-        fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with, ResultsRow,
+        fig2a, fig2b, fig2b_long, fig2c, results_table, results_table_with,
+        results_table_with_store, ResultsRow,
     };
     pub use crate::failover::{
         failover_table_document, run_failover, FailoverConfig, FailoverOutcome, FailoverSetup,
@@ -104,7 +113,8 @@ pub mod prelude {
         parallel_matches_serial, run_scenarios, run_sweep, RunnerConfig, SweepCell, SweepOutcome,
         SweepSpec, TopologySpec,
     };
-    pub use crate::scenario::{CrossTraffic, QueueEngine, RunResult, Scenario};
+    pub use crate::scenario::{CrossTraffic, QueueEngine, RunResult, Scenario, ScenarioCheckpoint};
+    pub use crate::store::{run_via_store, RunStore, StoreStats};
     pub use crate::worldexp::{
         run_fabric, run_mobility, run_traffic, worldgen_report, worldgen_table_document,
         FabricCell, SubflowSelector, TrafficCell, WorldgenConfig,

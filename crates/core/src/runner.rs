@@ -36,6 +36,7 @@ use crate::determinism;
 use crate::paper::{PaperNetwork, PaperNetworkConfig};
 use crate::randomnet::{RandomOverlapConfig, RandomOverlapNet};
 use crate::scenario::{RunResult, Scenario};
+use crate::store::{run_via_store, RunStore, StoreStats};
 use lpsolve::{LpCache, LpCacheStats};
 use mptcpsim::CcAlgo;
 use simbase::SimDuration;
@@ -250,8 +251,13 @@ pub struct SweepOutcome {
     pub results: Vec<RunResult>,
     /// LP memoization accounting: for a single-topology-family sweep,
     /// expect `misses == distinct constraint sets` (often 1) and
-    /// `hits == cells - misses`.
+    /// `hits == cells - misses`. Cells answered by the run store never
+    /// touch the LP cache (the stored record embeds the ground truth), so
+    /// with a warm store this can legitimately be all zeros.
     pub lp_stats: LpCacheStats,
+    /// Run-store accounting, when `OVERLAP_STORE` (or an explicit store)
+    /// fronted the sweep; `None` for a storeless run.
+    pub store_stats: Option<StoreStats>,
     /// Worker threads actually used.
     pub workers: usize,
 }
@@ -259,17 +265,32 @@ pub struct SweepOutcome {
 /// Execute a declarative sweep. Results come back in spec order regardless
 /// of worker count or completion order, so everything derived from them
 /// (tables, reports, trace hashes) is identical to a serial run.
+///
+/// When the `OVERLAP_STORE` environment variable names a store directory,
+/// every cell consults the content-addressed [`RunStore`] before
+/// simulating — a fully warm store regenerates the sweep with zero
+/// simulations and zero LP solves, byte-identical to a cold run.
 pub fn run_sweep(spec: &SweepSpec, cfg: &RunnerConfig) -> SweepOutcome {
+    run_sweep_with_store(spec, cfg, RunStore::from_env().as_ref())
+}
+
+/// [`run_sweep`] against an explicit (or explicitly absent) store.
+pub fn run_sweep_with_store(
+    spec: &SweepSpec,
+    cfg: &RunnerConfig,
+    store: Option<&RunStore>,
+) -> SweepOutcome {
     let cells = spec.cells();
     let lp_cache = LpCache::new();
     let workers = cfg.effective_workers(cells.len());
     let results = execute_jobs(cells.len(), workers, cfg.progress, |i| {
-        spec.scenario(&cells[i]).run_with_lp_cache(Some(&lp_cache))
+        run_via_store(&spec.scenario(&cells[i]), store, Some(&lp_cache))
     });
     SweepOutcome {
         cells,
         results,
         lp_stats: lp_cache.stats(),
+        store_stats: store.map(RunStore::stats),
         workers,
     }
 }
@@ -278,11 +299,21 @@ pub fn run_sweep(spec: &SweepSpec, cfg: &RunnerConfig) -> SweepOutcome {
 /// beyond [`SweepSpec`] — scheduler/SACK/queue ablations and the like).
 /// `results[i]` is `scenarios[i]`'s result; ordering guarantees are the
 /// same as [`run_sweep`]'s, and an LP cache is shared across the batch.
+/// Consults the `OVERLAP_STORE` run store exactly like [`run_sweep`].
 pub fn run_scenarios(scenarios: &[Scenario], cfg: &RunnerConfig) -> Vec<RunResult> {
+    run_scenarios_with_store(scenarios, cfg, RunStore::from_env().as_ref())
+}
+
+/// [`run_scenarios`] against an explicit (or explicitly absent) store.
+pub fn run_scenarios_with_store(
+    scenarios: &[Scenario],
+    cfg: &RunnerConfig,
+    store: Option<&RunStore>,
+) -> Vec<RunResult> {
     let lp_cache = LpCache::new();
     let workers = cfg.effective_workers(scenarios.len());
     execute_jobs(scenarios.len(), workers, cfg.progress, |i| {
-        scenarios[i].run_with_lp_cache(Some(&lp_cache))
+        run_via_store(&scenarios[i], store, Some(&lp_cache))
     })
 }
 
@@ -572,5 +603,44 @@ mod tests {
         let outcome = parallel_matches_serial(&tiny_spec(), 4);
         assert_eq!(outcome.results.len(), 4);
         assert!(outcome.workers >= 2);
+    }
+
+    #[test]
+    fn warm_store_answers_a_sweep_without_simulating() {
+        let spec = tiny_spec();
+        let dir =
+            std::env::temp_dir().join(format!("overlap-runner-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).expect("store dir");
+
+        let cold = run_sweep_with_store(&spec, &RunnerConfig::serial(), Some(&store));
+        assert_eq!(cold.store_stats.expect("store active").misses, 4);
+        assert_eq!(cold.store_stats.expect("store active").hits, 0);
+        assert_eq!(cold.lp_stats.total(), 4);
+
+        // Warm pass, parallel this time: every cell a hit, no simulation
+        // and therefore no LP activity at all, identical results.
+        let warm = run_sweep_with_store(
+            &spec,
+            &RunnerConfig {
+                workers: 3,
+                progress: false,
+            },
+            Some(&store),
+        );
+        let stats = warm.store_stats.expect("store active");
+        assert_eq!(stats.hits, 4, "all four cells answered from disk");
+        assert_eq!(stats.misses, 4, "only the cold pass missed");
+        assert_eq!(
+            warm.lp_stats.total(),
+            0,
+            "a fully warm sweep never touches the LP cache"
+        );
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(a.trace_hash, b.trace_hash);
+            assert_eq!(a.total.values(), b.total.values());
+            assert_eq!(a.events_scheduled, b.events_scheduled);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

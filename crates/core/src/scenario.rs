@@ -11,8 +11,8 @@ use mptcpsim::{
     CcAlgo, MptcpConfig, MptcpReceiverAgent, MptcpSenderAgent, SchedulerKind, SubflowConfig,
 };
 use netsim::{
-    CaptureConfig, CbrSource, DatagramSink, FaultSchedule, NodeId, Path, RoutingTables, Simulator,
-    Tag, Topology,
+    AgentId, CaptureConfig, CbrSource, DatagramSink, FaultSchedule, NodeId, Path, RoutingTables,
+    SimSnapshot, Simulator, Tag, Topology,
 };
 use simbase::Bandwidth;
 use simbase::{SimDuration, SimTime};
@@ -181,6 +181,67 @@ impl Scenario {
     /// without a cache (asserted by the runner test suite): the cache key
     /// pins every input of the solve.
     pub fn run_with_lp_cache(&self, lp_cache: Option<&lpsolve::LpCache>) -> RunResult {
+        let lp = self.solve_lp(lp_cache);
+        let mut built = self.build_sim();
+        let end = SimTime::ZERO + self.duration;
+        if let Some(map) = &self.region_map {
+            built.sim.run_parallel_with_map(end, map);
+        } else if self.regions > 1 {
+            built.sim.run_parallel(end, self.regions);
+        } else {
+            built.sim.run_until(end);
+        }
+        self.collect(&built, lp)
+    }
+
+    /// Run the common prefix of a family of fault variants and snapshot it.
+    ///
+    /// The returned [`ScenarioCheckpoint`] replays the scenario up to `t`
+    /// exactly once; [`ScenarioCheckpoint::branch_run`] then branches any
+    /// number of fault schedules from the frozen state, each byte-identical
+    /// (trace hash, counters, per-link stats) to a cold run of the same
+    /// scenario with the same faults — see DESIGN.md §13 for why.
+    ///
+    /// The base scenario must not schedule faults of its own (branch faults
+    /// carry the same queue keys a cold run would assign, which requires
+    /// the prefix's fault counter to be untouched) and must be serial
+    /// (`regions == 1`, no region map): partitioned regions cannot
+    /// checkpoint.
+    pub fn checkpoint_at(&self, t: SimTime) -> ScenarioCheckpoint {
+        assert!(
+            self.faults.is_empty(),
+            "checkpoint base scenario must not schedule faults; pass them to branch_run"
+        );
+        assert!(
+            self.regions == 1 && self.region_map.is_none(),
+            "checkpointing requires the serial engine"
+        );
+        assert!(
+            t <= SimTime::ZERO + self.duration,
+            "checkpoint time {t} beyond scenario end"
+        );
+        let mut built = self.build_sim();
+        built.sim.run_until(t);
+        ScenarioCheckpoint {
+            scenario: self.clone(),
+            snapshot: built.sim.checkpoint(),
+            sender_id: built.sender_id,
+            receiver_id: built.receiver_id,
+            dst: built.dst,
+        }
+    }
+
+    /// Resolve the LP ground truth (through `cache` when one is given).
+    fn solve_lp(&self, lp_cache: Option<&lpsolve::LpCache>) -> lpsolve::MaxThroughput {
+        match lp_cache {
+            Some(cache) => cache.solve(&self.topology, &self.paths),
+            None => lpsolve::solve_max_throughput(&self.topology, &self.paths),
+        }
+    }
+
+    /// Construct the simulator, routing, and endpoint agents — everything
+    /// up to (but not including) running the event loop.
+    fn build_sim(&self) -> BuiltSim {
         assert!(!self.paths.is_empty(), "need at least one path"); // simlint: allow(panic-surface, reason = "argument validation before the simulation starts")
                                                                    // simlint: allow(panic-surface, reason = "argument validation before the simulation starts")
         assert!(
@@ -210,11 +271,6 @@ impl Scenario {
                 dst_port: 6000 + ci as u16, // simlint: allow(truncating-cast, reason = "path counts are tiny (the paper uses three); u16 is not a real bound")
             })
             .collect();
-
-        let lp = match lp_cache {
-            Some(cache) => cache.solve(&self.topology, &self.paths),
-            None => lpsolve::solve_max_throughput(&self.topology, &self.paths),
-        };
 
         let mut sim = Simulator::new(self.topology.clone(), routing, self.seed);
         match self.engine {
@@ -261,15 +317,25 @@ impl Scenario {
             receiver.without_sack()
         };
         let receiver_id = sim.add_agent(dst, Box::new(receiver), SimTime::ZERO);
-
-        let end = SimTime::ZERO + self.duration;
-        if let Some(map) = &self.region_map {
-            sim.run_parallel_with_map(end, map);
-        } else if self.regions > 1 {
-            sim.run_parallel(end, self.regions);
-        } else {
-            sim.run_until(end);
+        BuiltSim {
+            sim,
+            sender_id,
+            receiver_id,
+            dst,
         }
+    }
+
+    /// Fold a finished simulation into a [`RunResult`] (the tshark step,
+    /// convergence analysis, and endpoint-state extraction).
+    fn collect(&self, built: &BuiltSim, lp: lpsolve::MaxThroughput) -> RunResult {
+        let BuiltSim {
+            sim,
+            sender_id,
+            receiver_id,
+            dst,
+        } = built;
+        let (sender_id, receiver_id, dst) = (*sender_id, *receiver_id, *dst);
+        let end = SimTime::ZERO + self.duration;
 
         // Order-sensitive digest of the full capture stream: two runs of
         // the same scenario + seed must produce the same hash (the
@@ -380,6 +446,76 @@ impl Scenario {
             subflow_stats,
             trace_hash,
         }
+    }
+}
+
+/// A constructed-but-not-yet-run simulation: the simulator plus the
+/// handles [`Scenario::collect`] needs afterwards.
+struct BuiltSim {
+    sim: Simulator,
+    sender_id: AgentId,
+    receiver_id: AgentId,
+    dst: NodeId,
+}
+
+/// A frozen scenario prefix that fault variants branch from.
+///
+/// Produced by [`Scenario::checkpoint_at`]. Holds a versioned
+/// [`SimSnapshot`] of the simulator after the common (fault-free) prefix;
+/// each [`ScenarioCheckpoint::branch_run`] restores a fresh deep copy,
+/// installs one fault schedule, and runs to the scenario end. The
+/// checkpoint is reusable: branching does not consume it.
+#[derive(Debug)]
+pub struct ScenarioCheckpoint {
+    scenario: Scenario,
+    snapshot: SimSnapshot,
+    sender_id: AgentId,
+    receiver_id: AgentId,
+    dst: NodeId,
+}
+
+impl ScenarioCheckpoint {
+    /// The simulation time the prefix was frozen at.
+    pub fn time(&self) -> SimTime {
+        self.snapshot.time()
+    }
+
+    /// The base scenario the prefix was built from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Branch one fault variant from the frozen prefix and run it to the
+    /// scenario end. Byte-identical (trace hash, event counters, series)
+    /// to `scenario.with_faults(faults).run_with_lp_cache(lp_cache)`.
+    ///
+    /// Every fault must fire strictly after the checkpoint time: the
+    /// prefix has already processed (and discarded nothing at) all times
+    /// `<=` the checkpoint, so an earlier fault could not take effect and
+    /// would silently diverge from the cold run.
+    pub fn branch_run(
+        &self,
+        faults: &FaultSchedule,
+        lp_cache: Option<&lpsolve::LpCache>,
+    ) -> RunResult {
+        for (at, _) in faults.entries() {
+            assert!(
+                *at > self.time(),
+                "branch fault at {at} not strictly after checkpoint time {}",
+                self.time()
+            );
+        }
+        let lp = self.scenario.solve_lp(lp_cache);
+        let mut sim = Simulator::restore(&self.snapshot);
+        sim.install_faults(faults);
+        sim.run_until(SimTime::ZERO + self.scenario.duration);
+        let built = BuiltSim {
+            sim,
+            sender_id: self.sender_id,
+            receiver_id: self.receiver_id,
+            dst: self.dst,
+        };
+        self.scenario.collect(&built, lp)
     }
 }
 
@@ -495,6 +631,74 @@ mod tests {
             lia < cubic + 1.0,
             "LIA mean {lia:.1} should not beat CUBIC mean {cubic:.1}"
         );
+    }
+
+    #[test]
+    fn branch_runs_match_cold_runs_bit_for_bit() {
+        // A checkpoint taken mid-run, branched with a fault schedule, must
+        // be indistinguishable from a cold run that carried the same faults
+        // from time zero — trace hash, event counters, and every sampled
+        // series bin.
+        let net = PaperNetwork::new();
+        let s = net.topology.node_by_name("s").unwrap();
+        let v4 = net.topology.node_by_name("v4").unwrap();
+        let link = net.topology.link_between(s, v4).unwrap();
+        let base = Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_algo(CcAlgo::Lia)
+        .with_timing(SimDuration::from_secs(3), SimDuration::from_millis(100));
+        let ckpt = base.checkpoint_at(SimTime::from_millis(1500));
+        assert_eq!(ckpt.time(), SimTime::from_millis(1500));
+        let variants = [
+            FaultSchedule::new().outage(
+                link,
+                SimTime::from_millis(1800),
+                SimTime::from_millis(2300),
+            ),
+            FaultSchedule::new().loss_burst(
+                link,
+                SimTime::from_millis(1600),
+                SimTime::from_millis(2000),
+                0.3,
+            ),
+            FaultSchedule::new(),
+        ];
+        for faults in &variants {
+            let branched = ckpt.branch_run(faults, None);
+            let cold = base.clone().with_faults(faults.clone()).run();
+            assert_eq!(branched.trace_hash, cold.trace_hash, "{faults:?}");
+            assert_eq!(branched.events, cold.events);
+            assert_eq!(branched.events_scheduled, cold.events_scheduled);
+            assert_eq!(branched.events_cancelled, cold.events_cancelled);
+            assert_eq!(branched.drops, cold.drops);
+            assert_eq!(branched.total.values(), cold.total.values());
+            assert_eq!(branched.data_delivered, cold.data_delivered);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after checkpoint time")]
+    fn branch_rejects_faults_inside_the_prefix() {
+        let net = PaperNetwork::new();
+        let s = net.topology.node_by_name("s").unwrap();
+        let v4 = net.topology.node_by_name("v4").unwrap();
+        let link = net.topology.link_between(s, v4).unwrap();
+        let base = Scenario {
+            default_path: net.default_path,
+            ..Scenario::new(net.topology, net.paths)
+        }
+        .with_timing(SimDuration::from_secs(2), SimDuration::from_millis(100));
+        let ckpt = base.checkpoint_at(SimTime::from_millis(1000));
+        // Fault at exactly the checkpoint time: already inside the replayed
+        // prefix, must be refused rather than silently diverge.
+        let faults = FaultSchedule::new().outage(
+            link,
+            SimTime::from_millis(1000),
+            SimTime::from_millis(1500),
+        );
+        let _ = ckpt.branch_run(&faults, None);
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl SubState {
 }
 
 /// Shared coupling state for one MPTCP connection.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CoupleState {
     /// One entry per subflow, indexed by subflow id.
     pub subs: Vec<SubState>,
@@ -152,6 +152,24 @@ impl Coupling {
     /// Fresh coupling state for a new connection.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Deep copy: a new `Coupling` over an independent copy of the shared
+    /// state. Note that `#[derive(Clone)]` on `Coupling` is a *shallow*
+    /// handle clone (that is what subflow controllers want); checkpointing
+    /// must use this instead and then re-bind each controller via
+    /// [`CongestionControl::as_any_mut`].
+    pub fn deep_clone(&self) -> Coupling {
+        let snapshot = lock_state(&self.state).clone();
+        Coupling {
+            state: Arc::new(Mutex::new(snapshot)),
+        }
+    }
+
+    /// The underlying shared-state handle (for re-binding cloned
+    /// controllers).
+    pub(crate) fn arc(&self) -> Arc<Mutex<CoupleState>> {
+        self.state.clone()
     }
 
     /// Read access to the shared state (for reports).
@@ -209,8 +227,8 @@ impl Coupling {
 /// Wrapper for uncoupled algorithms that mirrors cwnd/rtt into the shared
 /// state so reports (and wVegas weighting) can observe every subflow
 /// uniformly.
-#[derive(Debug)]
-struct Mirrored<C: CongestionControl> {
+#[derive(Debug, Clone)]
+pub(crate) struct Mirrored<C: CongestionControl> {
     inner: C,
     shared: Arc<Mutex<CoupleState>>,
     idx: usize,
@@ -219,6 +237,12 @@ struct Mirrored<C: CongestionControl> {
 impl<C: CongestionControl> Mirrored<C> {
     fn new(inner: C, shared: Arc<Mutex<CoupleState>>, idx: usize) -> Self {
         Mirrored { inner, shared, idx }
+    }
+
+    /// Re-point this controller at a different shared-state `Arc` (used
+    /// after a checkpoint deep copy).
+    pub(crate) fn rebase(&mut self, shared: Arc<Mutex<CoupleState>>) {
+        self.shared = shared;
     }
 
     fn mirror(&self) {
@@ -233,7 +257,7 @@ impl<C: CongestionControl> Mirrored<C> {
     }
 }
 
-impl<C: CongestionControl> CongestionControl for Mirrored<C> {
+impl<C: CongestionControl + Clone + 'static> CongestionControl for Mirrored<C> {
     fn on_ack(&mut self, ctx: &AckContext) {
         if let Some(srtt) = ctx.srtt {
             lock_state(&self.shared).subs[self.idx].srtt = srtt.as_secs_f64().max(1e-6);
@@ -279,16 +303,35 @@ impl<C: CongestionControl> CongestionControl for Mirrored<C> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// The coupled controller: standard slow start and loss response, coupled
 /// congestion-avoidance increase per [`CcAlgo`].
-#[derive(Debug)]
+///
+/// `Clone` is a *shallow* copy — the clone shares the same `CoupleState`
+/// `Arc`; checkpointing re-binds it via [`CoupledCc::rebase`].
+#[derive(Debug, Clone)]
 pub struct CoupledCc {
     shared: Arc<Mutex<CoupleState>>,
     idx: usize,
     algo: CcAlgo,
     mss: u32,
+}
+
+impl CoupledCc {
+    /// Re-point this controller at a different shared-state `Arc` (used
+    /// after a checkpoint deep copy).
+    pub(crate) fn rebase(&mut self, shared: Arc<Mutex<CoupleState>>) {
+        self.shared = shared;
+    }
 }
 
 impl CongestionControl for CoupledCc {
@@ -365,6 +408,14 @@ impl CongestionControl for CoupledCc {
 
     fn name(&self) -> &'static str {
         self.algo.name()
+    }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

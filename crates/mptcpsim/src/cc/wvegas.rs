@@ -40,7 +40,10 @@ pub fn weighted_alpha(st: &CoupleState, idx: usize) -> f64 {
 }
 
 /// The coupled weighted-Vegas controller for one subflow.
-#[derive(Debug)]
+///
+/// `Clone` is a *shallow* copy — the clone shares the same `CoupleState`
+/// `Arc`; checkpointing re-binds it via [`WVegasCc::rebase`].
+#[derive(Debug, Clone)]
 pub struct WVegasCc {
     shared: Arc<Mutex<CoupleState>>,
     idx: usize,
@@ -59,6 +62,12 @@ impl WVegasCc {
             mss,
             next_adjust: SimTime::ZERO,
         }
+    }
+
+    /// Re-point this controller at a different shared-state `Arc` (used
+    /// after a checkpoint deep copy).
+    pub(crate) fn rebase(&mut self, shared: Arc<Mutex<CoupleState>>) {
+        self.shared = shared;
     }
 
     fn diff_packets(sub: &SubState, ctx: &AckContext) -> Option<f64> {
@@ -150,6 +159,14 @@ impl CongestionControl for WVegasCc {
 
     fn name(&self) -> &'static str {
         "wVegas"
+    }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

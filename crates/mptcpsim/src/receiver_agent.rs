@@ -27,6 +27,7 @@ pub struct MptcpReceiverStats {
 }
 
 /// The MPTCP receiver agent.
+#[derive(Clone)]
 pub struct MptcpReceiverAgent {
     /// Advertised window per subflow, bytes.
     window: u32,
@@ -154,6 +155,10 @@ impl Agent for MptcpReceiverAgent {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
     }
 }
 

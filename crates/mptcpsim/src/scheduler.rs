@@ -44,6 +44,16 @@ pub trait Scheduler: std::fmt::Debug + Send {
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
+
+    /// Deep-copy this scheduler's state (rotation position etc.) for
+    /// simulator checkpointing.
+    fn clone_boxed(&self) -> Box<dyn Scheduler>;
+}
+
+impl Clone for Box<dyn Scheduler> {
+    fn clone(&self) -> Self {
+        self.clone_boxed()
+    }
 }
 
 /// Lowest-RTT-first (the Linux default). Subflows without an RTT sample
@@ -67,6 +77,10 @@ impl Scheduler for MinRtt {
 
     fn name(&self) -> &'static str {
         "minrtt"
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
     }
 }
 
@@ -101,6 +115,10 @@ impl Scheduler for RoundRobin {
     fn name(&self) -> &'static str {
         "roundrobin"
     }
+
+    fn clone_boxed(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
 }
 
 /// Send every chunk on every eligible subflow (latency-oriented; wastes
@@ -121,6 +139,10 @@ impl Scheduler for Redundant {
 
     fn name(&self) -> &'static str {
         "redundant"
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
     }
 }
 

@@ -126,6 +126,7 @@ pub struct MptcpSenderStats {
     pub bytes_reinjected: u64,
 }
 
+#[derive(Clone)]
 struct Sub {
     cfg: SubflowConfig,
     sender: TcpSender,
@@ -143,6 +144,13 @@ struct Sub {
 }
 
 /// The MPTCP sender agent.
+///
+/// Note on `Clone`: the derived clone is *shallow* with respect to the
+/// coupled congestion state — every subflow controller of the clone still
+/// points at the original's `CoupleState` `Arc`. Checkpointing must go
+/// through [`Agent::clone_boxed`], which deep-copies that state and
+/// re-binds each controller.
+#[derive(Clone)]
 pub struct MptcpSenderAgent {
     cfg: MptcpConfig,
     subs: Vec<Sub>,
@@ -550,5 +558,34 @@ impl Agent for MptcpSenderAgent {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        // A shallow clone still shares the coupled congestion state with
+        // the original through each subflow controller's Arc. Deep-copy
+        // that state and re-bind every controller so the branch and the
+        // original cannot influence each other.
+        let mut copy = self.clone();
+        copy.coupling = self.coupling.deep_clone();
+        let shared = copy.coupling.arc();
+        for sub in &mut copy.subs {
+            let cc = sub
+                .sender
+                .cc_mut()
+                .as_any_mut()
+                .expect("mptcp subflow controller lacks as_any_mut"); // simlint: allow(unwrap, reason = "every controller this crate installs implements as_any_mut; a None is a snapshot-layer wiring bug worth aborting on")
+            if let Some(m) = cc.downcast_mut::<crate::cc::Mirrored<tcpsim::cc::Cubic>>() {
+                m.rebase(shared.clone());
+            } else if let Some(m) = cc.downcast_mut::<crate::cc::Mirrored<tcpsim::cc::Reno>>() {
+                m.rebase(shared.clone());
+            } else if let Some(m) = cc.downcast_mut::<crate::cc::CoupledCc>() {
+                m.rebase(shared.clone());
+            } else if let Some(m) = cc.downcast_mut::<crate::cc::wvegas::WVegasCc>() {
+                m.rebase(shared.clone());
+            } else {
+                panic!("unknown mptcp subflow controller type");
+            }
+        }
+        Box::new(copy)
     }
 }

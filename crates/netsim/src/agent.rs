@@ -54,6 +54,15 @@ pub trait Agent: Send {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Deep-copy this agent for a simulator checkpoint.
+    ///
+    /// Every production agent implements this; the default panics so that
+    /// `Simulator::checkpoint` fails loudly (rather than silently sharing
+    /// state) if a custom test agent without an implementation is present.
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        panic!("agent {:?} does not support checkpointing", self.name())
+    }
 }
 
 /// A send/timer effect requested by an agent.

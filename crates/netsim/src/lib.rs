@@ -52,7 +52,7 @@ pub use queue::{
     RedConfig,
 };
 pub use routing::{ecmp_select, Fib, RoutingTables};
-pub use sim::Simulator;
+pub use sim::{SimSnapshot, Simulator, SNAPSHOT_VERSION};
 pub use stats::{LinkDirStats, SimStats};
 pub use topology::{LinkSpec, NodeInfo, Topology};
 pub use traffic::{CbrSource, DatagramSink, OnOffSource};

@@ -62,6 +62,16 @@ pub trait Queue: std::fmt::Debug + Send {
     fn is_empty(&self) -> bool {
         self.len_packets() == 0
     }
+
+    /// Deep-copy the queue (buffered packets and AQM state) for simulator
+    /// checkpointing.
+    fn clone_boxed(&self) -> Box<dyn Queue>;
+}
+
+impl Clone for Box<dyn Queue> {
+    fn clone(&self) -> Self {
+        self.clone_boxed()
+    }
 }
 
 /// Configuration for a link's output queue, chosen per link.
@@ -98,7 +108,7 @@ impl Default for QueueConfig {
 }
 
 /// Drop-tail FIFO, bounded by packets or bytes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DropTail {
     buf: std::collections::VecDeque<Packet>,
     bytes: u64,
@@ -167,6 +177,10 @@ impl Queue for DropTail {
     fn len_bytes(&self) -> u64 {
         self.bytes
     }
+
+    fn clone_boxed(&self) -> Box<dyn Queue> {
+        Box::new(self.clone())
+    }
 }
 
 /// RED (Floyd & Jacobson 1993) parameters.
@@ -209,7 +223,7 @@ impl Default for RedConfig {
 
 /// Random Early Detection queue (gentle variant not implemented; classic
 /// linear ramp between `min_thresh` and `max_thresh`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Red {
     inner: DropTail,
     cfg: RedConfig,
@@ -313,6 +327,10 @@ impl Queue for Red {
     fn len_bytes(&self) -> u64 {
         self.inner.len_bytes()
     }
+
+    fn clone_boxed(&self) -> Box<dyn Queue> {
+        Box::new(self.clone())
+    }
 }
 
 /// CoDel parameters (RFC 8289 defaults).
@@ -339,7 +357,7 @@ impl Default for CoDelConfig {
 /// CoDel (Nichols & Jacobson): drop from the *head* when packets have been
 /// sojourning above `target` for at least `interval`, with drop spacing
 /// shrinking as `interval / sqrt(count)` while the condition persists.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CoDel {
     cfg: CoDelConfig,
     buf: std::collections::VecDeque<(Packet, SimTime)>,
@@ -467,6 +485,10 @@ impl Queue for CoDel {
 
     fn len_bytes(&self) -> u64 {
         self.bytes
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Queue> {
+        Box::new(self.clone())
     }
 }
 

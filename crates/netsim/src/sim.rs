@@ -87,7 +87,7 @@ pub(crate) mod order {
 }
 
 /// Simulator events.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     /// Fire an agent's start hook.
     StartAgent(AgentId),
@@ -114,6 +114,7 @@ enum Event {
 }
 
 /// Runtime state for one direction of a link.
+#[derive(Clone)]
 struct DirState {
     /// The packet currently being serialized plus its serialization time
     /// (fixed when the transmission started: a capacity fault mid-flight
@@ -133,6 +134,7 @@ impl DirState {
 }
 
 /// Runtime state for one duplex link: `dirs[Dir::index()]`.
+#[derive(Clone)]
 struct LinkRuntime {
     dirs: [DirState; 2],
     /// Administrative state; packets offered to a down link are dropped.
@@ -465,6 +467,95 @@ impl Simulator {
         self.agents[id.0 as usize]
             .as_deref()
             .expect("agent is being dispatched") // simlint: allow(unwrap, reason = "documented API contract: stale AgentId is a caller bug")
+    }
+
+    /// Capture the complete deterministic state of this simulator as a
+    /// [`SimSnapshot`] that [`Simulator::restore`] can branch from.
+    ///
+    /// The snapshot is a deep copy: the event queue (pending entries,
+    /// cancellation-token table, and lifetime push/cancel counters), every
+    /// agent (via [`Agent::clone_boxed`]), per-entity RNG streams, link
+    /// transmitters and queues, the wire pool, capture records, and all
+    /// statistics. Because the execution is a pure function of that state
+    /// (see the module docs on schedule-independent ordering), a restored
+    /// simulator replays the identical event sequence — trace hashes of a
+    /// branched continuation match a cold run byte-for-byte.
+    ///
+    /// Only the serial path can checkpoint: panics if this simulator is a
+    /// region of a partitioned run (checkpoint before `run_parallel`, or
+    /// use the serial engine for the prefix).
+    pub fn checkpoint(&self) -> SimSnapshot {
+        assert!(
+            self.node_region.is_none() && self.outbox.iter().all(Vec::is_empty),
+            "checkpoint of a partitioned region is not supported"
+        );
+        SimSnapshot {
+            version: SNAPSHOT_VERSION,
+            sim: self.deep_clone(),
+        }
+    }
+
+    /// Reconstruct an independent simulator from a snapshot. The snapshot
+    /// is reusable: each call yields a fresh branch that evolves on its
+    /// own (schedule different faults on each and compare).
+    pub fn restore(snapshot: &SimSnapshot) -> Simulator {
+        assert_eq!(
+            snapshot.version, SNAPSHOT_VERSION,
+            "snapshot version mismatch: cannot restore v{} with a v{SNAPSHOT_VERSION} engine",
+            snapshot.version
+        );
+        snapshot.sim.deep_clone()
+    }
+
+    /// The deep copy backing [`Simulator::checkpoint`]/[`Simulator::restore`].
+    fn deep_clone(&self) -> Simulator {
+        let agents = self
+            .agents
+            .iter()
+            .map(|slot| {
+                // Between events every slot is occupied; a vacant slot means
+                // we are inside a dispatch, where checkpointing is unsound.
+                // simlint: allow(unwrap, reason = "checkpoint mid-dispatch would lose the dispatched agent; fail loudly")
+                let agent = slot.as_deref().expect("checkpoint during agent dispatch");
+                Some(agent.clone_boxed())
+            })
+            .collect();
+        Simulator {
+            topo: self.topo.clone(),
+            routing: self.routing.clone(),
+            links: self.links.clone(),
+            agents,
+            agent_node: self.agent_node.clone(),
+            node_agent: self.node_agent.clone(),
+            events: self.events.clone(),
+            now: self.now,
+            seed: self.seed,
+            agent_rngs: self.agent_rngs.clone(),
+            dir_rngs: self.dir_rngs.clone(),
+            agent_packet_seq: self.agent_packet_seq.clone(),
+            arrive_seq: self.arrive_seq.clone(),
+            fault_seq: self.fault_seq,
+            log: self.log.clone(),
+            capture_cfg: self.capture_cfg.clone(),
+            captures: self.captures.clone(),
+            capture_ord: self.capture_ord.clone(),
+            cur_key: self.cur_key,
+            cur_sub: self.cur_sub,
+            stats: self.stats,
+            link_stats: self.link_stats.clone(),
+            in_flight: self.in_flight,
+            timer_keys: self.timer_keys.clone(),
+            wire_pool: self.wire_pool.clone(),
+            wire_free: self.wire_free.clone(),
+            // Scratch buffers are always empty between events.
+            effect_bufs: Vec::new(),
+            forward_jitter: self.forward_jitter,
+            extra_scheduled: self.extra_scheduled,
+            extra_cancelled: self.extra_cancelled,
+            region: self.region,
+            node_region: None,
+            outbox: Vec::new(),
+        }
     }
 
     /// Schedule an administrative link failure (both directions). Packets
@@ -1029,6 +1120,45 @@ impl Simulator {
         });
         self.capture_ord.push((self.cur_key, self.cur_sub));
         self.cur_sub += 1;
+    }
+}
+
+/// Snapshot format version. Bumped whenever the captured state set changes
+/// meaning (restore refuses a mismatched snapshot rather than silently
+/// resuming from partial state).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A versioned, self-contained copy of a simulator's full deterministic
+/// state at one instant, produced by [`Simulator::checkpoint`].
+///
+/// The common prefix of a family of runs (e.g. the 0–4 s warm-up before a
+/// fault study's first fault) is simulated once, checkpointed, and each
+/// variant branches from the snapshot via [`Simulator::restore`] — with
+/// byte-identical results to running each variant cold from t=0.
+pub struct SimSnapshot {
+    version: u32,
+    sim: Simulator,
+}
+
+impl SimSnapshot {
+    /// The format version this snapshot was captured with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Simulated time at which the snapshot was taken.
+    pub fn time(&self) -> SimTime {
+        self.sim.now
+    }
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("version", &self.version)
+            .field("time", &self.sim.now)
+            .field("agents", &self.sim.agents.len())
+            .finish()
     }
 }
 

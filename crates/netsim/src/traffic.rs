@@ -13,6 +13,7 @@ use simbase::{Bandwidth, SimDuration, SimRng};
 
 /// Constant-bit-rate datagram source: one `packet_bytes` packet every
 /// `interval`, forever (or until the simulator's deadline).
+#[derive(Clone)]
 pub struct CbrSource {
     dst: NodeId,
     tag: Tag,
@@ -68,11 +69,15 @@ impl Agent for CbrSource {
     fn name(&self) -> String {
         "traffic.cbr".to_string()
     }
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
+    }
 }
 
 /// Exponential on/off datagram source: bursts at `peak_rate` for
 /// exponentially distributed on-periods, silent for exponentially
 /// distributed off-periods — the classic bursty cross-traffic model.
+#[derive(Clone)]
 pub struct OnOffSource {
     dst: NodeId,
     tag: Tag,
@@ -165,10 +170,13 @@ impl Agent for OnOffSource {
     fn name(&self) -> String {
         "traffic.onoff".to_string()
     }
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
+    }
 }
 
 /// A sink that counts datagrams (attach at the destination host).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct DatagramSink {
     /// Packets received.
     pub received: u64,
@@ -187,6 +195,9 @@ impl Agent for DatagramSink {
     }
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
     }
 }
 

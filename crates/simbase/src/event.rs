@@ -148,7 +148,7 @@ const LEVELS: usize = (64 - GRANULARITY_BITS as usize).div_ceil(SLOT_BITS as usi
 /// * `early` holds entries pushed for times before `cur` (legal for
 ///   callers outside a monotonic simulator loop); its times precede every
 ///   pending or wheel-resident time, so it drains before everything else.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Wheel<E> {
     cur: u64,
     /// Per-level slot-occupancy bitmaps (bit `s` = slot `s` non-empty).
@@ -334,7 +334,7 @@ impl<E> Wheel<E> {
 
 /// Queue backend: the timing wheel in production, plus the original binary
 /// heap kept as a differential-testing reference.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Backend<E> {
     Wheel(Wheel<E>),
     #[cfg(any(test, feature = "ref-heap"))]
@@ -389,7 +389,12 @@ enum TokenState {
 
 /// A min-queue of timestamped events with FIFO tie-breaking and optional
 /// per-event cancellation.
-#[derive(Debug)]
+///
+/// Cloning (for `E: Clone`) copies the complete queue state — pending
+/// entries, cancellation-token table, and lifetime counters — which is what
+/// lets a simulator snapshot resume with identical event ordering and
+/// identical `total_pushed`/`total_cancelled` statistics.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,

@@ -58,7 +58,7 @@ impl fmt::Display for LogRecord {
 }
 
 /// An in-memory log with a minimum level and optional record cap.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventLog {
     records: Vec<LogRecord>,
     min_level: LogLevel,

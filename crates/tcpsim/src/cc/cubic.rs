@@ -186,6 +186,10 @@ impl CongestionControl for Cubic {
     fn name(&self) -> &'static str {
         "cubic"
     }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,30 @@ pub trait CongestionControl: std::fmt::Debug + Send {
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Deep-copy this algorithm's state into a fresh boxed instance.
+    ///
+    /// Required for simulator checkpointing: a snapshot must own an
+    /// independent copy of every flow's congestion state so the branched
+    /// run and the original cannot influence each other. Coupled MPTCP
+    /// algorithms clone their *handle* here (the shared state is re-bound
+    /// by the owning agent after the whole bundle is copied).
+    fn clone_boxed(&self) -> Box<dyn CongestionControl>;
+
+    /// Downcast support for post-clone fixups.
+    ///
+    /// `mptcpsim` uses this to re-point a cloned coupled algorithm at the
+    /// snapshot's own shared-state `Arc`. Standalone algorithms keep the
+    /// default.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+impl Clone for Box<dyn CongestionControl> {
+    fn clone(&self) -> Self {
+        self.clone_boxed()
+    }
 }
 
 /// Floor applied to every window: two segments (RFC 5681 loss-window

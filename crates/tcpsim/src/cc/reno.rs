@@ -76,6 +76,10 @@ impl CongestionControl for Reno {
     fn name(&self) -> &'static str {
         "reno"
     }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,10 @@ impl CongestionControl for Vegas {
     fn name(&self) -> &'static str {
         "vegas"
     }
+
+    fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

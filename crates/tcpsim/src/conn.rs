@@ -25,6 +25,7 @@ pub fn flow_hash(src_port: u16, dst_port: u16) -> u64 {
 }
 
 /// A bulk-data TCP sender endpoint.
+#[derive(Clone)]
 pub struct TcpSenderAgent {
     sender: TcpSender,
     app: AppSource,
@@ -169,9 +170,14 @@ impl Agent for TcpSenderAgent {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
+    }
 }
 
 /// A TCP receiver endpoint that ACKs whatever arrives.
+#[derive(Clone)]
 pub struct TcpReceiverAgent {
     receiver: TcpReceiver,
     tag: Tag,
@@ -278,5 +284,9 @@ impl Agent for TcpReceiverAgent {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
     }
 }

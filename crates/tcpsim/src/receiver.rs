@@ -58,7 +58,7 @@ pub struct ReceiverStats {
 }
 
 /// The receiver state machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TcpReceiver {
     cfg: ReceiverConfig,
     /// Next in-order stream offset expected.
@@ -258,9 +258,12 @@ impl TcpReceiver {
         }
     }
 
-    /// Up to [`MAX_SACK_BLOCKS`] blocks: the most recently updated range
-    /// first (RFC 2018 §4), then the other ranges, newest-start first.
-    /// Returned inline — building an ACK allocates nothing.
+    /// Up to [`MAX_SACK_BLOCKS`] blocks. The wire leads with the most
+    /// recently updated range (RFC 2018 §4), then the other ranges,
+    /// newest-start first. [`SackList`] stores chronological order and the
+    /// encoder reverses it, so blocks are *pushed* oldest-information-first
+    /// with the recent range last. Returned inline — building an ACK
+    /// allocates nothing.
     fn sack_blocks(&self) -> SackList {
         if !self.cfg.sack || self.ooo.is_empty() {
             return SackList::new();
@@ -271,25 +274,34 @@ impl TcpReceiver {
                 SeqNum::from_offset(self.cfg.peer_isn, e),
             )
         };
-        let mut blocks = SackList::new();
-        let mut first_start = None;
-        if let Some((s, _)) = self.recent_block {
-            // The recent range may have merged; report its current extent.
-            if let Some((&cs, &ce)) = self.ooo.range(..=s).next_back() {
-                if ce > s && cs > self.rcv_nxt {
-                    blocks.push(to_wire(cs, ce));
-                    first_start = Some(cs);
-                }
-            }
-        }
+        // The recent range may have merged; report its current extent.
+        let recent = self.recent_block.and_then(|(s, _)| {
+            self.ooo
+                .range(..=s)
+                .next_back()
+                .and_then(|(&cs, &ce)| (ce > s && cs > self.rcv_nxt).then_some((cs, ce)))
+        });
+        let limit = MAX_SACK_BLOCKS - usize::from(recent.is_some());
+        let mut others = [(0u64, 0u64); MAX_SACK_BLOCKS];
+        let mut n = 0;
         for (&s, &e) in self.ooo.iter().rev() {
-            if blocks.len() >= MAX_SACK_BLOCKS {
+            if n >= limit {
                 break;
             }
-            if Some(s) == first_start {
+            if recent.is_some_and(|(cs, _)| cs == s) {
                 continue;
             }
+            if let Some(slot) = others.get_mut(n) {
+                *slot = (s, e);
+                n += 1;
+            }
+        }
+        let mut blocks = SackList::new();
+        for &(s, e) in others.iter().take(n).rev() {
             blocks.push(to_wire(s, e));
+        }
+        if let Some((cs, ce)) = recent {
+            blocks.push(to_wire(cs, ce));
         }
         blocks
     }
@@ -511,6 +523,48 @@ mod tests {
         seg.flags.cwr = true;
         let ack = r.on_data_ecn(t, &seg, MSS as u32, false).unwrap();
         assert!(!ack.flags.ece);
+    }
+
+    #[test]
+    fn fourth_loss_event_still_sacks_the_latest_hole() {
+        // Regression: with four disjoint holes, the newest range used to be
+        // dropped from the SACK option (list overflow dropped the incoming
+        // block). RFC 2018 §4: the latest range must be reported, and first.
+        let cfg = ReceiverConfig::default();
+        let mut r = TcpReceiver::new(cfg.clone());
+        let t = SimTime::ZERO;
+        // Segments at 2, 4, 6, then 8 MSS: holes at 1, 3, 5, 7 MSS.
+        let mut last_ack = None;
+        for i in [2u64, 4, 6, 8] {
+            last_ack = r.on_data(t, &data_seg(&cfg, i * MSS, 1), MSS as u32);
+        }
+        let ack = last_ack.expect("dup ACK");
+        assert_eq!(ack.sack.len(), MAX_SACK_BLOCKS);
+        let newest = (
+            SeqNum::from_offset(cfg.peer_isn, 8 * MSS),
+            SeqNum::from_offset(cfg.peer_isn, 9 * MSS),
+        );
+        // Chronological list order puts the newest block last; the encoder
+        // reverses, so it leads on the wire.
+        assert_eq!(ack.sack.as_slice().last(), Some(&newest));
+        let wire = TcpSegment::decode(&ack.encode()).unwrap();
+        assert_eq!(wire.sack.as_slice().last(), Some(&newest));
+    }
+
+    #[test]
+    fn tiny_receive_buffer_never_advertises_zero() {
+        // Regression: a live sub-128-byte window used to encode as a zero
+        // (closed) window, parking the sender forever. After the wire
+        // clamp, the smallest live advertisement is one granule.
+        let cfg = ReceiverConfig {
+            window: 100,
+            ..Default::default()
+        };
+        let mut r = TcpReceiver::new(cfg.clone());
+        let ack = r.on_data(SimTime::ZERO, &data_seg(&cfg, 0, 1), 64).unwrap();
+        assert_eq!(ack.window, 100);
+        let wire = TcpSegment::decode(&ack.encode()).unwrap();
+        assert_eq!(wire.window, 128, "clamped up to one granule, not zero");
     }
 
     #[test]

@@ -144,7 +144,11 @@ pub struct SenderStats {
 }
 
 /// The sender state machine. See the module docs.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the congestion controller via
+/// [`CongestionControl::clone_boxed`], so a cloned sender (simulator
+/// checkpoint) evolves independently of the original.
+#[derive(Debug, Clone)]
 pub struct TcpSender {
     cfg: TcpConfig,
     cc: Box<dyn CongestionControl>,
@@ -287,6 +291,14 @@ impl TcpSender {
     /// The congestion controller (for inspection).
     pub fn cc(&self) -> &dyn CongestionControl {
         self.cc.as_ref()
+    }
+
+    /// Mutable access to the congestion controller.
+    ///
+    /// Needed by `mptcpsim` to re-bind a cloned coupled controller to the
+    /// clone's own shared-state handle after a checkpoint copy.
+    pub fn cc_mut(&mut self) -> &mut dyn CongestionControl {
+        self.cc.as_mut()
     }
 
     /// The RTT estimator (for inspection).
@@ -1122,7 +1134,7 @@ mod tests {
     /// though gigabytes of window were open.
     #[test]
     fn send_window_beyond_4gib_does_not_stall() {
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct HugeWindow;
         impl CongestionControl for HugeWindow {
             fn on_ack(&mut self, _ctx: &AckContext) {}
@@ -1136,6 +1148,9 @@ mod tests {
             }
             fn name(&self) -> &'static str {
                 "huge"
+            }
+            fn clone_boxed(&self) -> Box<dyn CongestionControl> {
+                Box::new(self.clone())
             }
         }
         let cfg = TcpConfig {

@@ -93,8 +93,9 @@ impl Timestamps {
 pub type SackBlock = (SeqNum, SeqNum);
 
 /// Fixed capacity of a [`SackList`]: one more slot than [`MAX_SACK_BLOCKS`]
-/// so an over-full list reaches [`TcpSegment::encode`]'s limit check instead
-/// of being silently truncated at construction.
+/// so an over-full list reaches [`TcpSegment::encode`]'s limit check (or
+/// [`TcpSegment::trim_sack_to_fit`]) instead of being silently truncated at
+/// construction. Beyond this, [`SackList::push`] evicts oldest-first.
 pub const SACK_CAP: usize = MAX_SACK_BLOCKS + 1;
 
 /// An inline, allocation-free list of SACK blocks.
@@ -134,26 +135,34 @@ impl SackList {
         self.blocks.get(..usize::from(self.len)).unwrap_or(&[])
     }
 
-    /// Append a block. The capacity is a protocol bound, not a resource
-    /// limit: an overflowing push is dropped (debug builds assert), and
-    /// [`TcpSegment::encode`] rejects over-long lists regardless.
+    /// Append a block. Blocks are stored in insertion (chronological)
+    /// order, oldest first. On overflow the *oldest* block is evicted:
+    /// RFC 2018 §4 wants the most recently received block reported, so a
+    /// full list forgets history, never the newest information.
+    /// (Regression: this used to drop the incoming block instead, so a
+    /// fourth loss event's hole was never SACKed.)
     pub fn push(&mut self, block: SackBlock) {
-        match self.blocks.get_mut(usize::from(self.len)) {
-            Some(slot) => {
-                *slot = block;
-                self.len += 1;
-            }
-            None => debug_assert!(false, "SACK list overflow (capacity {SACK_CAP})"),
+        if usize::from(self.len) == SACK_CAP {
+            self.blocks.copy_within(1.., 0);
+            self.len -= 1;
+        }
+        if let Some(slot) = self.blocks.get_mut(usize::from(self.len)) {
+            *slot = block;
+            self.len += 1;
         }
     }
 
-    /// Remove and return the newest block.
-    pub fn pop(&mut self) -> Option<SackBlock> {
+    /// Remove and return the oldest block (the first inserted). Used when
+    /// option space runs out: the newest blocks carry the information the
+    /// sender does not have yet.
+    pub fn pop_oldest(&mut self) -> Option<SackBlock> {
         if self.len == 0 {
             return None;
         }
+        let oldest = self.blocks.first().copied();
+        self.blocks.copy_within(1.., 0);
         self.len -= 1;
-        self.blocks.get(usize::from(self.len)).copied()
+        oldest
     }
 
     /// Drop all blocks.
@@ -251,7 +260,9 @@ pub struct TcpSegment {
     /// Flags.
     pub flags: TcpFlags,
     /// Advertised receive window in bytes. Encoded with [`WINDOW_SHIFT`]
-    /// granularity; values round down to a multiple of 128 on the wire.
+    /// granularity; values round down to a multiple of 128 on the wire,
+    /// except that a non-zero window below one granule rounds *up* to 128
+    /// (a live window must never be advertised as closed).
     pub window: u32,
     /// Timestamps option.
     pub ts: Option<Timestamps>,
@@ -345,7 +356,10 @@ impl TcpSegment {
             assert!(self.sack.len() <= MAX_SACK_BLOCKS, "too many SACK blocks");
             opts.put_u8(OPT_SACK);
             opts.put_u8(len_byte(2 + 8 * self.sack.len()));
-            for (l, r) in &self.sack {
+            // RFC 2018 §4: the first block reports the most recently
+            // received range. The list stores chronological (oldest-first)
+            // order, so the wire emits it in reverse.
+            for (l, r) in self.sack.iter().rev() {
                 opts.put_u32(l.0);
                 opts.put_u32(r.0);
             }
@@ -373,8 +387,16 @@ impl TcpSegment {
 
         let data_offset_words = 5 + opts.len() / 4;
         assert!(data_offset_words <= 15, "options too long");
-        let window_wire = u16::try_from((self.window >> WINDOW_SHIFT).min(u32::from(u16::MAX)))
-            .unwrap_or(u16::MAX);
+        // A live (non-zero) window must never encode as zero: rounding
+        // 1..128 bytes down to 0 granules would advertise a closed window,
+        // and a sender with no persist timer parks forever. Clamp up to one
+        // granule instead — over-advertising by at most 127 bytes.
+        let scaled = (self.window >> WINDOW_SHIFT).min(u32::from(u16::MAX));
+        let window_wire = if self.window > 0 && scaled == 0 {
+            1
+        } else {
+            u16::try_from(scaled).unwrap_or(u16::MAX)
+        };
         let mut buf = PayloadWriter::new();
         buf.put_u16(self.src_port);
         buf.put_u16(self.dst_port);
@@ -468,10 +490,15 @@ impl TcpSegment {
                     // last-wins rule as TS/MSS/DSS) and keeps the inline
                     // list within capacity on adversarial inputs.
                     seg.sack.clear();
-                    for _ in 0..k {
-                        let l = SeqNum(opts.get_u32());
-                        let r = SeqNum(opts.get_u32());
-                        seg.sack.push((l, r));
+                    // The wire carries blocks newest-first (RFC 2018 §4);
+                    // re-reverse into the list's chronological order so a
+                    // decode mirrors the segment that was encoded.
+                    let mut wire = [(SeqNum(0), SeqNum(0)); MAX_SACK_BLOCKS];
+                    for slot in wire.iter_mut().take(k) {
+                        *slot = (SeqNum(opts.get_u32()), SeqNum(opts.get_u32()));
+                    }
+                    for &block in wire.iter().take(k).rev() {
+                        seg.sack.push(block);
                     }
                 }
                 OPT_DSS => {
@@ -505,13 +532,13 @@ impl TcpSegment {
         Ok(seg)
     }
 
-    /// Drop SACK blocks (newest-last) until the header fits the TCP
+    /// Drop the *oldest* SACK blocks until the header fits the TCP
     /// data-offset limit (60 bytes). Real stacks do the same arithmetic
     /// when timestamps/MPTCP options compete for the 40 bytes of option
-    /// space (RFC 2018 §3).
+    /// space (RFC 2018 §3): the first (most recent) blocks survive.
     pub fn trim_sack_to_fit(&mut self) {
         while self.header_len() > 60 && !self.sack.is_empty() {
-            self.sack.pop();
+            self.sack.pop_oldest();
         }
     }
 
@@ -574,6 +601,64 @@ mod tests {
         let dec = roundtrip(&seg);
         assert_eq!(dec.window, 1000 >> WINDOW_SHIFT << WINDOW_SHIFT);
         assert_eq!(dec.window, 896);
+    }
+
+    #[test]
+    fn tiny_nonzero_window_clamps_up_not_to_zero() {
+        // Regression: windows in 1..128 used to round down to a zero
+        // advertisement, parking the peer forever (no persist timer in the
+        // model). They must clamp up to one granule; only a genuinely
+        // closed window encodes as zero.
+        for w in [1u32, 27, 127] {
+            let seg = TcpSegment {
+                window: w,
+                ..Default::default()
+            };
+            let dec = roundtrip(&seg);
+            assert_eq!(dec.window, 1 << WINDOW_SHIFT, "window {w}");
+        }
+        let closed = TcpSegment {
+            window: 0,
+            ..Default::default()
+        };
+        assert_eq!(roundtrip(&closed).window, 0);
+    }
+
+    #[test]
+    fn sack_overflow_keeps_newest_block() {
+        // Regression: a 4th loss event's block used to be silently dropped
+        // on push; RFC 2018 §4 wants the newest range reported first, so
+        // the *oldest* block must be the one evicted.
+        let mut sack = SackList::new();
+        for i in 0..SACK_CAP as u32 + 2 {
+            sack.push((SeqNum(1000 * i), SeqNum(1000 * i + 100)));
+        }
+        assert_eq!(sack.len(), SACK_CAP);
+        let newest = sack.as_slice().last().copied();
+        assert_eq!(newest, Some((SeqNum(5000), SeqNum(5100))), "newest kept");
+        assert_eq!(
+            sack.as_slice().first().copied(),
+            Some((SeqNum(2000), SeqNum(2100))),
+            "oldest evicted"
+        );
+    }
+
+    #[test]
+    fn sack_wire_order_is_newest_first() {
+        // The list stores chronological order; the wire must lead with the
+        // most recent block (RFC 2018 §4) and decode back chronologically.
+        let seg = TcpSegment {
+            flags: TcpFlags::ACK,
+            sack: (0..3u32)
+                .map(|i| (SeqNum(1000 * i), SeqNum(1000 * i + 100)))
+                .collect(),
+            ..Default::default()
+        };
+        let bytes = seg.encode();
+        // First block on the wire starts right after kind+len at offset 22.
+        let first_left = u32::from_be_bytes([bytes[22], bytes[23], bytes[24], bytes[25]]);
+        assert_eq!(first_left, 2000, "newest block leads on the wire");
+        assert_eq!(TcpSegment::decode(&bytes).unwrap(), seg);
     }
 
     #[test]
@@ -855,7 +940,13 @@ mod proptests {
             prop_assert!(bytes.len() <= 60);
             prop_assert_eq!(bytes.len() % 4, 0);
             let dec = TcpSegment::decode(&bytes).unwrap();
-            let expected_window = window >> WINDOW_SHIFT << WINDOW_SHIFT;
+            // Sub-granule windows clamp up to one granule (never to zero);
+            // larger windows round down to granule multiples.
+            let expected_window = if window > 0 && window >> WINDOW_SHIFT == 0 {
+                1 << WINDOW_SHIFT
+            } else {
+                window >> WINDOW_SHIFT << WINDOW_SHIFT
+            };
             prop_assert_eq!(dec.window, expected_window);
             let mut norm = seg.clone();
             norm.window = expected_window;
